@@ -1,0 +1,67 @@
+"""Figure 5: checkpoints per initiation vs message sending rate
+(point-to-point communication, N = 16).
+
+Paper shape to reproduce:
+
+* tentative checkpoints per initiation grow with the send rate and
+  saturate at N;
+* redundant mutable checkpoints rise and then fall, always a small
+  fraction (< 4 %) of the tentative count.
+
+Each bench is one x-axis point; ``extra_info`` carries the measured
+series so ``--benchmark-json`` output contains the whole figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_util import describe, run_point_to_point
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+
+#: the swept x axis: messages per second per process
+RATES = [0.002, 0.005, 0.01, 0.02, 0.05, 0.1]
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_fig5_point_to_point(benchmark, rate):
+    mean_interval = 1.0 / rate
+
+    def run():
+        return run_point_to_point(
+            MutableCheckpointProtocol(), mean_send_interval=mean_interval
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = describe(result)
+    benchmark.extra_info.update({"rate": rate, **row})
+    print(f"\nFig5 rate={rate:6.3f} msg/s: {row}")
+    # shape guards (paper): tentative bounded by N, redundant far below
+    assert row["tentative_mean"] <= 16.0
+    assert row["redundant_ratio"] <= 0.04 + 1e-9
+
+
+def test_fig5_shape_summary(benchmark):
+    """One pass over the whole sweep asserting the paper's shape:
+    tentative count is (weakly) increasing in the send rate."""
+
+    def sweep():
+        rows = []
+        for rate in RATES:
+            result = run_point_to_point(
+                MutableCheckpointProtocol(),
+                mean_send_interval=1.0 / rate,
+                initiations=12,
+            )
+            rows.append((rate, describe(result)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nFig5 sweep:")
+    for rate, row in rows:
+        print(f"  rate={rate:6.3f}  {row}")
+    tentative = [row["tentative_mean"] for _, row in rows]
+    # weakly increasing up to saturation (tolerate sampling noise)
+    assert tentative[-1] >= tentative[0]
+    assert tentative[-1] >= 15.0  # saturates near N
+    assert tentative[0] <= 8.0    # sparse dependencies at low rates

@@ -1,0 +1,74 @@
+"""Figure 6: checkpoints per initiation under group communication.
+
+Four groups of four processes, leaders-only intergroup traffic at
+1/1000 (left graph) and 1/10000 (right graph) of the intragroup rate.
+
+Paper shape to reproduce: both tentative and redundant-mutable counts
+are lower than the point-to-point environment at the same rate, and the
+10000x-ratio counts are lower than the 1000x ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_util import describe, run_group, run_point_to_point
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+
+RATES = [0.005, 0.01, 0.02, 0.05]
+RATIOS = [1_000.0, 10_000.0]
+
+
+@pytest.mark.parametrize("ratio", RATIOS)
+@pytest.mark.parametrize("rate", RATES)
+def test_fig6_group(benchmark, rate, ratio):
+    def run():
+        return run_group(
+            MutableCheckpointProtocol(),
+            mean_send_interval=1.0 / rate,
+            intra_inter_ratio=ratio,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = describe(result)
+    benchmark.extra_info.update({"rate": rate, "ratio": ratio, **row})
+    print(f"\nFig6 rate={rate:6.3f} ratio=1/{int(ratio)}: {row}")
+    assert row["tentative_mean"] <= 16.0
+
+
+def test_fig6_shape_summary(benchmark):
+    """Group counts < point-to-point counts; 10000x < 1000x."""
+
+    def sweep():
+        rows = {}
+        for ratio in RATIOS:
+            rows[ratio] = [
+                describe(
+                    run_group(
+                        MutableCheckpointProtocol(),
+                        mean_send_interval=1.0 / rate,
+                        intra_inter_ratio=ratio,
+                        initiations=12,
+                    )
+                )
+                for rate in RATES
+            ]
+        rows["p2p"] = [
+            describe(
+                run_point_to_point(
+                    MutableCheckpointProtocol(),
+                    mean_send_interval=1.0 / rate,
+                    initiations=12,
+                )
+            )
+            for rate in RATES
+        ]
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nFig6 sweep (tentative means):")
+    for key in (1_000.0, 10_000.0, "p2p"):
+        print(f"  {key}: {[r['tentative_mean'] for r in rows[key]]}")
+    mean = lambda rs: sum(r["tentative_mean"] for r in rs) / len(rs)
+    assert mean(rows[10_000.0]) <= mean(rows[1_000.0]) + 0.5
+    assert mean(rows[1_000.0]) < mean(rows["p2p"])

@@ -1,0 +1,73 @@
+"""Checkpoint-interval sensitivity: overhead vs lost work.
+
+The paper fixes the interval at 900 s without discussion; this ablation
+shows the trade-off that choice sits on:
+
+* short intervals  -> more checkpointing traffic (512 KB transfers per
+  initiation) but little computation lost at a failure;
+* long intervals   -> cheap steady state but a failure rolls back more
+  delivered messages.
+
+Measured as (stable bytes shipped per simulated hour, messages lost at a
+failure injected at a fixed time).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.checkpointing.recovery import RecoveryManager
+from repro.core.config import PointToPointWorkloadConfig, RunConfig, SystemConfig
+from repro.core.runner import ExperimentRunner
+from repro.core.system import MobileSystem
+from repro.workload.point_to_point import PointToPointWorkload
+
+INTERVALS = [120.0, 450.0, 1800.0]
+HORIZON = 3600.0
+FAIL_AT = 3300.0
+
+
+def run_interval(interval: float, seed: int = 5):
+    config = SystemConfig(n_processes=8, seed=seed, checkpoint_interval=interval)
+    system = MobileSystem(config, MutableCheckpointProtocol())
+    workload = PointToPointWorkload(system, PointToPointWorkloadConfig(10.0))
+    runner = ExperimentRunner(
+        system, workload, RunConfig(max_initiations=10_000, time_limit=HORIZON)
+    )
+    runner.run(max_events=50_000_000)
+    workload.stop()
+    system.run_until_quiescent()
+    # overhead: checkpoint bytes shipped per simulated hour
+    ckpt_bytes = sum(mh.background_bytes for mh in system.mhs)
+    # lost work: messages undone by a rollback at the end of the run
+    report = RecoveryManager(system).rollback()
+    return {
+        "interval_s": interval,
+        "ckpt_mb_per_hour": round(ckpt_bytes / 1e6 * 3600.0 / HORIZON, 1),
+        "lost_messages": report.lost_messages,
+        "commits": runner.committed,
+    }
+
+
+@pytest.mark.parametrize("interval", INTERVALS)
+def test_interval_point(benchmark, interval):
+    row = benchmark.pedantic(lambda: run_interval(interval), rounds=1, iterations=1)
+    benchmark.extra_info.update(row)
+    print(f"\ninterval={interval:6.0f}s: {row}")
+
+
+def test_interval_tradeoff_shape(benchmark):
+    """Overhead decreases and lost work increases with the interval."""
+
+    def run_all():
+        return [run_interval(interval) for interval in INTERVALS]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for row in rows:
+        print(f"  {row}")
+    overhead = [r["ckpt_mb_per_hour"] for r in rows]
+    lost = [r["lost_messages"] for r in rows]
+    assert overhead[0] > overhead[-1], "short intervals must cost more bandwidth"
+    assert lost[0] < lost[-1], "long intervals must lose more work"

@@ -1,0 +1,85 @@
+"""Table 1: Koo-Toueg vs Elnozahy et al. vs the mutable algorithm.
+
+Prints the analytic rows (the paper's closed forms evaluated with the
+measured N_min) next to the rows measured from identical simulation
+runs, and asserts the qualitative relationships:
+
+* checkpoints: KT = mutable = N_min; EJZ = N;
+* blocking: only KT > 0;
+* messages: mutable < KT;
+* distribution: EJZ centralized.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_util import run_point_to_point
+from repro.analysis.comparison import (
+    CostParameters,
+    analytic_table,
+    format_table,
+    measured_row,
+)
+from repro.checkpointing.elnozahy import ElnozahyProtocol
+from repro.checkpointing.koo_toueg import KooTouegProtocol
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+
+MEAN_INTERVAL = 60.0  # moderate rate: N_min strictly between 1 and N
+SEED = 21
+
+PROTOCOLS = {
+    "koo-toueg": KooTouegProtocol,
+    "elnozahy": ElnozahyProtocol,
+    "mutable": MutableCheckpointProtocol,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROTOCOLS))
+def test_table1_protocol(benchmark, name):
+    """Measured Table 1 row for one protocol."""
+
+    def run():
+        return run_point_to_point(
+            PROTOCOLS[name](), mean_send_interval=MEAN_INTERVAL, seed=SEED
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = measured_row(result)
+    benchmark.extra_info.update(
+        {k: (round(v, 3) if isinstance(v, float) else v) for k, v in row.as_dict().items()}
+    )
+    print(f"\nTable1 {name}: {row.as_dict()}")
+
+
+def test_table1_full_comparison(benchmark):
+    """All three protocols on the same workload + the analytic table."""
+
+    def run_all():
+        return {
+            name: measured_row(
+                run_point_to_point(
+                    cls(), mean_send_interval=MEAN_INTERVAL, seed=SEED, initiations=14
+                )
+            )
+            for name, cls in PROTOCOLS.items()
+        }
+
+    measured = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    kt, ejz, mu = measured["koo-toueg"], measured["elnozahy"], measured["mutable"]
+    params = CostParameters(n=16, n_min=mu.checkpoints, n_dep=4.0)
+    print()
+    print(format_table(analytic_table(params), "Table 1 (analytic, measured N_min)"))
+    print(format_table([kt, ejz, mu], "Table 1 (measured)"))
+
+    # The paper's qualitative claims (exact N_min equality requires
+    # identical message histories; blocking perturbs the trajectory, so
+    # the min-process counts are compared with tolerance):
+    assert kt.checkpoints == pytest.approx(mu.checkpoints, rel=0.25)
+    assert ejz.checkpoints == 16.0                                  # all N
+    assert kt.blocking_time > 0
+    assert ejz.blocking_time == 0 and mu.blocking_time == 0
+    assert mu.messages < kt.messages                                # O(N) vs O(N^2)
+    assert mu.distributed and kt.distributed and not ejz.distributed
+    # output commit: ours ~ N_min * T_ch <= EJZ's N * T_ch
+    assert mu.output_commit_delay <= ejz.output_commit_delay + 1e-6

@@ -1,0 +1,96 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench regenerates one of the paper's tables or figures on a scale
+that runs in seconds. Absolute numbers differ from the paper's 1999
+testbed; the *shape* assertions (who wins, monotonicity, crossovers) are
+checked by the test suite — benches print the rows so the results can be
+compared with the paper side by side (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.checkpointing.protocol import CheckpointProtocol
+from repro.core.config import (
+    GroupWorkloadConfig,
+    PointToPointWorkloadConfig,
+    RunConfig,
+    SystemConfig,
+)
+from repro.core.results import RunResult
+from repro.core.runner import ExperimentRunner
+from repro.core.system import MobileSystem
+from repro.workload.group import GroupWorkload
+from repro.workload.point_to_point import PointToPointWorkload
+
+#: initiations measured per data point (paper: "a large number of
+#: samples"; enough here for stable means at bench runtimes)
+DEFAULT_INITIATIONS = 22
+DEFAULT_WARMUP = 2
+
+
+def run_point_to_point(
+    protocol: CheckpointProtocol,
+    mean_send_interval: float,
+    seed: int = 11,
+    n_processes: int = 16,
+    initiations: int = DEFAULT_INITIATIONS,
+    trace_messages: bool = False,
+    **config_kwargs,
+) -> RunResult:
+    """One Fig. 5-style data point."""
+    config = SystemConfig(
+        n_processes=n_processes,
+        seed=seed,
+        trace_messages=trace_messages,
+        **config_kwargs,
+    )
+    system = MobileSystem(config, protocol)
+    workload = PointToPointWorkload(
+        system, PointToPointWorkloadConfig(mean_send_interval)
+    )
+    runner = ExperimentRunner(
+        system,
+        workload,
+        RunConfig(max_initiations=initiations, warmup_initiations=DEFAULT_WARMUP),
+    )
+    return runner.run(max_events=50_000_000)
+
+
+def run_group(
+    protocol: CheckpointProtocol,
+    mean_send_interval: float,
+    intra_inter_ratio: float,
+    seed: int = 11,
+    n_processes: int = 16,
+    initiations: int = DEFAULT_INITIATIONS,
+) -> RunResult:
+    """One Fig. 6-style data point."""
+    config = SystemConfig(n_processes=n_processes, seed=seed, trace_messages=False)
+    system = MobileSystem(config, protocol)
+    workload = GroupWorkload(
+        system,
+        GroupWorkloadConfig(
+            mean_send_interval=mean_send_interval,
+            n_groups=4,
+            intra_inter_ratio=intra_inter_ratio,
+        ),
+    )
+    runner = ExperimentRunner(
+        system,
+        workload,
+        RunConfig(max_initiations=initiations, warmup_initiations=DEFAULT_WARMUP),
+    )
+    return runner.run(max_events=50_000_000)
+
+
+def describe(result: RunResult) -> Dict[str, float]:
+    """The quantities the paper plots, as one flat row."""
+    return {
+        "tentative_mean": round(result.tentative_summary().mean, 3),
+        "redundant_mutable_mean": round(result.redundant_mutable_summary().mean, 4),
+        "redundant_ratio": round(result.redundant_ratio, 4),
+        "duration_s": round(result.duration_summary().mean, 3),
+        "initiations": result.n_initiations,
+    }

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Figure 6 regeneration: group communication.
+
+Four groups of four processes; only group leaders talk across groups,
+at 1/1000 (left graph of Fig. 6) and 1/10000 (right graph) of the
+intragroup rate. Prints both graphs' curves next to the point-to-point
+baseline so the paper's claim — group communication takes fewer
+checkpoints, and the 10000x ratio fewer still — is visible directly.
+
+Run:  python examples/group_communication.py [--fast]
+"""
+
+import sys
+
+from repro import (
+    ExperimentRunner,
+    GroupWorkloadConfig,
+    MobileSystem,
+    PointToPointWorkloadConfig,
+    RunConfig,
+    SystemConfig,
+)
+from repro.checkpointing import MutableCheckpointProtocol
+from repro.workload import GroupWorkload, PointToPointWorkload
+
+RATES = [0.005, 0.01, 0.02, 0.05]
+
+
+def run_one(rate: float, ratio, initiations: int):
+    config = SystemConfig(n_processes=16, seed=11, trace_messages=False)
+    system = MobileSystem(config, MutableCheckpointProtocol())
+    if ratio is None:
+        workload = PointToPointWorkload(
+            system, PointToPointWorkloadConfig(mean_send_interval=1.0 / rate)
+        )
+    else:
+        workload = GroupWorkload(
+            system,
+            GroupWorkloadConfig(
+                mean_send_interval=1.0 / rate, n_groups=4, intra_inter_ratio=ratio
+            ),
+        )
+    runner = ExperimentRunner(
+        system, workload, RunConfig(max_initiations=initiations, warmup_initiations=2)
+    )
+    return runner.run()
+
+
+def main() -> None:
+    initiations = 12 if "--fast" in sys.argv else 32
+    print("Figure 6 — group communication, 4 groups x 4, N = 16")
+    header = f"{'rate':>8} | {'1000x tent':>10} {'red':>6} | {'10000x tent':>11} {'red':>6} | {'p2p tent':>8}"
+    print(header)
+    print("-" * len(header))
+    for rate in RATES:
+        left = run_one(rate, 1_000.0, initiations)
+        right = run_one(rate, 10_000.0, initiations)
+        p2p = run_one(rate, None, initiations)
+        print(
+            f"{rate:>8.3f} | {left.tentative_summary().mean:>10.2f} "
+            f"{left.redundant_mutable_summary().mean:>6.3f} | "
+            f"{right.tentative_summary().mean:>11.2f} "
+            f"{right.redundant_mutable_summary().mean:>6.3f} | "
+            f"{p2p.tentative_summary().mean:>8.2f}"
+        )
+    print()
+    print("paper shape: group < point-to-point; 10000x ratio <= 1000x ratio.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Terminal line charts for the figure-regenerating examples.
+
+No plotting dependency is available offline, so the examples render
+their curves as text: a fixed-height grid, one marker character per
+series, log-or-linear x mapped to columns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+_MARKERS = "ox+*#@%"
+
+
+def render_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 14,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    log_x: bool = False,
+) -> str:
+    """Render one or more series over shared x values as ASCII art.
+
+    Each series gets its own marker; the legend maps markers to names.
+    """
+    if not x_values:
+        raise ValueError("need at least one x value")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length != x length")
+
+    def x_pos(value: float) -> float:
+        if log_x:
+            lo, hi = math.log10(x_values[0]), math.log10(x_values[-1])
+            v = math.log10(value)
+        else:
+            lo, hi = x_values[0], x_values[-1]
+            v = value
+        if hi == lo:
+            return 0.0
+        return (v - lo) / (hi - lo)
+
+    y_max = max((max(ys) for ys in series.values()), default=1.0)
+    y_max = y_max if y_max > 0 else 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for marker, (name, ys) in zip(_MARKERS, series.items()):
+        for x, y in zip(x_values, ys):
+            col = min(width - 1, int(round(x_pos(x) * (width - 1))))
+            row = min(height - 1, int(round((1.0 - y / y_max) * (height - 1))))
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:g}"
+    for i, row in enumerate(grid):
+        prefix = top_label if i == 0 else ("0" if i == height - 1 else "")
+        lines.append(f"{prefix:>8} |{''.join(row)}|")
+    axis = "-" * width
+    lines.append(f"{'':>8} +{axis}+")
+    if x_label:
+        left = f"{x_values[0]:g}"
+        right = f"{x_values[-1]:g}"
+        middle = x_label.center(width - len(left) - len(right))
+        lines.append(f"{'':>9}{left}{middle}{right}")
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(f"{'':>9}{legend}")
+    if y_label:
+        lines.append(f"{'':>9}y: {y_label}")
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Table 1: analytic cost model and measured comparison.
+
+The paper's Table 1 compares Koo-Toueg [19], Elnozahy et al. [13], and
+the mutable-checkpoint algorithm on five axes: stable checkpoints per
+initiation, worst-case blocking time, output-commit delay, system
+message cost, and whether the algorithm is distributed.
+
+:func:`analytic_table` evaluates the closed-form expressions for given
+parameters; :func:`measured_table` extracts the same quantities from
+actual simulation runs, so the bench can print paper-formula vs
+measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.results import RunResult
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Symbols of Table 1 with the paper's defaults.
+
+    ``c_air`` is the cost of one process-to-process message; ``c_broad``
+    of one broadcast. Times are seconds: ``t_msg`` the per-initiation
+    system-message latency, ``t_data`` the MH-to-MSS checkpoint transfer
+    (2 s for 512 KB at 2 Mbps), ``t_disk`` the stable-storage write.
+    """
+
+    n: int = 16
+    n_min: int = 8
+    n_mut: float = 0.2
+    n_dep: float = 4.0
+    c_air: float = 1.0
+    c_broad: float = 16.0
+    t_msg: float = 0.0002
+    t_data: float = 2.0
+    t_disk: float = 0.0
+
+    @property
+    def t_ch(self) -> float:
+        """Checkpointing time per process: T_msg + T_data + T_disk."""
+        return self.t_msg + self.t_data + self.t_disk
+
+
+@dataclass(frozen=True)
+class AlgorithmCosts:
+    """One row of Table 1."""
+
+    algorithm: str
+    checkpoints: float
+    blocking_time: float
+    output_commit_delay: float
+    messages: float
+    distributed: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "checkpoints": self.checkpoints,
+            "blocking_time": self.blocking_time,
+            "output_commit_delay": self.output_commit_delay,
+            "messages": self.messages,
+            "distributed": self.distributed,
+        }
+
+
+def koo_toueg_costs(p: CostParameters) -> AlgorithmCosts:
+    """Row 1: blocking min-process baseline."""
+    return AlgorithmCosts(
+        algorithm="koo-toueg",
+        checkpoints=p.n_min,
+        blocking_time=p.n_min * p.t_ch,
+        output_commit_delay=p.n_min * p.t_ch,
+        messages=3 * p.n_min * p.n_dep * p.c_air,
+        distributed=True,
+    )
+
+
+def elnozahy_costs(p: CostParameters) -> AlgorithmCosts:
+    """Row 2: nonblocking all-process baseline."""
+    return AlgorithmCosts(
+        algorithm="elnozahy",
+        checkpoints=p.n,
+        blocking_time=0.0,
+        output_commit_delay=p.n * p.t_ch,
+        messages=2 * p.c_broad + p.n * p.c_air,
+        distributed=False,
+    )
+
+
+def mutable_costs(p: CostParameters) -> AlgorithmCosts:
+    """Row 3: the paper's algorithm."""
+    return AlgorithmCosts(
+        algorithm="mutable",
+        checkpoints=p.n_min,
+        blocking_time=0.0,
+        output_commit_delay=(p.n_min + p.n_mut) * p.t_ch,
+        messages=2 * p.n_min * p.c_air + min(p.n_min * p.c_air, p.c_broad),
+        distributed=True,
+    )
+
+
+def analytic_table(p: Optional[CostParameters] = None) -> List[AlgorithmCosts]:
+    """All three rows of Table 1 for the given parameters."""
+    params = p if p is not None else CostParameters()
+    return [koo_toueg_costs(params), elnozahy_costs(params), mutable_costs(params)]
+
+
+def measured_row(result: "RunResult") -> AlgorithmCosts:
+    """The Table 1 quantities as actually measured in a run.
+
+    * checkpoints: mean tentative checkpoints per initiation;
+    * blocking time: mean total blocked process-time per initiation;
+    * output-commit delay: mean initiation-to-commit duration;
+    * messages: system messages (incl. broadcast fan-out) per initiation.
+    """
+    n_init = max(result.n_initiations, 1)
+    distributed = result.protocol not in ("elnozahy",)
+    return AlgorithmCosts(
+        algorithm=result.protocol,
+        checkpoints=result.tentative_summary().mean,
+        blocking_time=result.total_blocked_time / n_init,
+        output_commit_delay=result.duration_summary().mean,
+        messages=result.counters.get("system_messages", 0.0) / n_init,
+        distributed=distributed,
+    )
+
+
+def format_table(rows: List[AlgorithmCosts], title: str) -> str:
+    """Render rows as the paper's table (plain text)."""
+    header = (
+        f"{title}\n"
+        f"{'algorithm':<16}{'checkpoints':>12}{'blocking':>12}"
+        f"{'output commit':>15}{'messages':>12}{'distributed':>13}\n"
+    )
+    lines = [header.rstrip()]
+    for row in rows:
+        lines.append(
+            f"{row.algorithm:<16}{row.checkpoints:>12.2f}{row.blocking_time:>12.2f}"
+            f"{row.output_commit_delay:>15.2f}{row.messages:>12.1f}"
+            f"{str(row.distributed):>13}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Protocol-independent consistency checking of global checkpoints.
+
+Two independent witnesses, sharing no code with the protocols:
+
+1. **Orphan scan** (:func:`find_orphans`): replays the trace log. A
+   global checkpoint is inconsistent iff some message's *receive* is
+   recorded in the destination's checkpoint while its *send* is not
+   recorded in the source's checkpoint (§2.3's orphan message). "Recorded
+   in" is decided by trace-log position: the trace is a single total
+   order consistent with causality (the simulator's event order), and a
+   checkpoint record appears in the trace exactly when the state was
+   captured.
+
+2. **Vector-clock test** (:func:`check_vector_clocks`): uses the clock
+   snapshots embedded in the checkpoint records
+   (:func:`repro.analysis.vector_clock.snapshot_consistent`).
+
+Both are applied to *recovery lines*: for each process the latest stable
+checkpoint with ``time_taken <=`` some cut criterion, or simply the
+latest permanent checkpoints after a committed initiation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.vector_clock import snapshot_consistent
+from repro.checkpointing.storage import StableStorage
+from repro.checkpointing.types import CheckpointKind, CheckpointRecord
+from repro.errors import InconsistentCheckpointError
+from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class Orphan:
+    """A message violating consistency for a given global checkpoint."""
+
+    msg_id: int
+    src: int
+    dst: int
+    send_position: Optional[int]
+    recv_position: int
+
+    def __str__(self) -> str:
+        return (
+            f"orphan message {self.msg_id}: {self.src} -> {self.dst} "
+            f"(recv recorded at trace position {self.recv_position}, "
+            f"send at {self.send_position})"
+        )
+
+
+def checkpoint_positions(trace: TraceLog) -> Dict[int, int]:
+    """Map checkpoint ``ckpt_id`` to its position in the trace.
+
+    A checkpoint's position is where its state was captured: the
+    ``tentative``/``mutable``/``permanent`` record emitted at capture
+    time. Promotion re-emits ``tentative`` for the same ckpt_id; the
+    *first* occurrence is the capture point and wins.
+    """
+    positions: Dict[int, int] = {}
+    for index, record in enumerate(trace):
+        if record.kind in ("tentative", "mutable", "permanent"):
+            ckpt_id = record.get("ckpt_id")
+            if ckpt_id is not None and ckpt_id not in positions:
+                positions[ckpt_id] = index
+    return positions
+
+
+def find_orphans(
+    trace: TraceLog,
+    line: Dict[int, CheckpointRecord],
+) -> List[Orphan]:
+    """All orphan messages of the global checkpoint ``line``.
+
+    ``line`` maps pid -> the checkpoint record chosen for that process.
+    Requires the run to have ``trace_messages`` enabled.
+    """
+    positions = checkpoint_positions(trace)
+    cut: Dict[int, int] = {}
+    for pid, record in line.items():
+        position = positions.get(record.ckpt_id)
+        if position is None:
+            # Initial checkpoints are traced at t=0; they must be there.
+            raise InconsistentCheckpointError(
+                f"checkpoint {record.ckpt_id} of p{pid} not found in trace"
+            )
+        cut[pid] = position
+
+    send_positions: Dict[int, Tuple[int, int]] = {}
+    orphans: List[Orphan] = []
+    for index, record in enumerate(trace):
+        if record.kind == "comp_send":
+            send_positions[record["msg_id"]] = (index, record["src"])
+        elif record.kind == "comp_recv":
+            dst = record["dst"]
+            if dst not in cut or index >= cut[dst]:
+                continue  # receive not recorded in dst's checkpoint
+            msg_id = record["msg_id"]
+            sent = send_positions.get(msg_id)
+            src = record["src"]
+            if src not in cut:
+                continue
+            if sent is None or sent[0] >= cut[src]:
+                orphans.append(
+                    Orphan(
+                        msg_id=msg_id,
+                        src=src,
+                        dst=dst,
+                        send_position=None if sent is None else sent[0],
+                        recv_position=index,
+                    )
+                )
+    return orphans
+
+
+def check_vector_clocks(line: Dict[int, CheckpointRecord]) -> bool:
+    """Vector-clock consistency of the global checkpoint ``line``."""
+    return snapshot_consistent(
+        (pid, record.vector_clock) for pid, record in line.items()
+    )
+
+
+def latest_permanent_line(
+    storages: Iterable[StableStorage], pids: Iterable[int]
+) -> Dict[int, CheckpointRecord]:
+    """The current recovery line: newest permanent checkpoint per process.
+
+    With mobility a process's checkpoints may be spread across several
+    MSSs, so all storages are consulted.
+    """
+    line: Dict[int, CheckpointRecord] = {}
+    storage_list = list(storages)
+    for pid in pids:
+        best: Optional[CheckpointRecord] = None
+        for storage in storage_list:
+            candidate = storage.latest(pid, CheckpointKind.PERMANENT)
+            if candidate is not None and (
+                best is None or candidate.ckpt_id > best.ckpt_id
+            ):
+                best = candidate
+        if best is None:
+            raise InconsistentCheckpointError(f"no permanent checkpoint for p{pid}")
+        line[pid] = best
+    return line
+
+
+def assert_line_consistent(
+    trace: TraceLog, line: Dict[int, CheckpointRecord]
+) -> None:
+    """Raise :class:`InconsistentCheckpointError` unless ``line`` passes
+    both the orphan scan and the vector-clock test."""
+    orphans = find_orphans(trace, line)
+    if orphans:
+        raise InconsistentCheckpointError(
+            "orphan messages in recovery line: "
+            + "; ".join(str(o) for o in orphans[:5])
+        )
+    if not check_vector_clocks(line):
+        raise InconsistentCheckpointError(
+            "vector-clock test failed for recovery line"
+        )

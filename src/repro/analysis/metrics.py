@@ -1,0 +1,105 @@
+"""Per-initiation metric extraction from the trace log.
+
+The protocols emit structured trace records (see
+:mod:`repro.checkpointing.protocol`); this module folds them into
+per-initiation statistics — the quantities plotted in the paper's
+Figs. 5 and 6 and tabulated in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.checkpointing.types import Trigger
+from repro.sim.trace import TraceLog
+
+
+@dataclass
+class InitiationStats:
+    """Counters for one checkpointing initiation.
+
+    ``tentative_count`` includes the initiator's own checkpoint and any
+    mutable checkpoints promoted to tentative. ``redundant_mutables`` are
+    mutable checkpoints discarded without promotion — the paper's
+    headline metric ("redundant" in §5).
+    """
+
+    trigger: Trigger
+    initiation_time: float = 0.0
+    commit_time: Optional[float] = None
+    abort_time: Optional[float] = None
+    tentative_count: int = 0
+    mutable_count: int = 0
+    promoted_mutables: int = 0
+    redundant_mutables: int = 0
+    permanent_count: int = 0
+    participants: List[int] = field(default_factory=list)
+
+    @property
+    def committed(self) -> bool:
+        return self.commit_time is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Checkpointing time: initiation to commit (paper's T_ch span)."""
+        end = self.commit_time if self.commit_time is not None else self.abort_time
+        if end is None:
+            return None
+        return end - self.initiation_time
+
+
+def per_initiation_stats(trace: TraceLog) -> Dict[Trigger, InitiationStats]:
+    """Fold the trace into one :class:`InitiationStats` per initiation."""
+    stats: Dict[Trigger, InitiationStats] = {}
+
+    def entry(trigger: Optional[Trigger]) -> Optional[InitiationStats]:
+        if trigger is None:
+            return None
+        if trigger not in stats:
+            stats[trigger] = InitiationStats(trigger=trigger)
+        return stats[trigger]
+
+    for record in trace:
+        kind = record.kind
+        if kind == "initiation":
+            s = entry(record["trigger"])
+            assert s is not None
+            s.initiation_time = record.time
+        elif kind == "tentative":
+            s = entry(record["trigger"])
+            if s is not None:
+                s.tentative_count += 1
+                s.participants.append(record["pid"])
+        elif kind == "mutable":
+            s = entry(record["trigger"])
+            if s is not None:
+                s.mutable_count += 1
+        elif kind == "mutable_promoted":
+            s = entry(record["trigger"])
+            if s is not None:
+                s.promoted_mutables += 1
+        elif kind == "mutable_discarded":
+            s = entry(record["trigger"])
+            if s is not None:
+                s.redundant_mutables += 1
+        elif kind == "permanent":
+            s = entry(record.get("trigger"))
+            if s is not None:
+                s.permanent_count += 1
+        elif kind == "commit":
+            s = entry(record["trigger"])
+            if s is not None:
+                s.commit_time = record.time
+        elif kind == "abort":
+            s = entry(record["trigger"])
+            if s is not None:
+                s.abort_time = record.time
+    return stats
+
+
+def committed_stats(trace: TraceLog) -> List[InitiationStats]:
+    """Stats for committed initiations, in commit order."""
+    stats = [s for s in per_initiation_stats(trace).values() if s.committed]
+    stats.sort(key=lambda s: s.commit_time)
+    return stats

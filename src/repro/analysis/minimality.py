@@ -1,0 +1,160 @@
+"""Independent verification of Theorem 3 (min-process property).
+
+For one committed initiation, the set of processes that *must* take a
+new stable checkpoint is the closure of the z-dependency relation the
+paper traces in §2.4: starting from the initiator, process Q must
+checkpoint if some process P that must checkpoint recorded (in its new
+checkpoint) the receipt of a message that Q sent after Q's previous
+stable checkpoint — otherwise that message would be an orphan.
+
+:func:`must_checkpoint_set` computes this closure purely from the trace
+log (no protocol state), and :func:`check_minimality` compares it with
+the processes that actually took tentative checkpoints:
+
+* a member of the closure missing from the participants ⇒ the algorithm
+  took *too few* checkpoints (consistency is in danger);
+* a participant outside the closure ⇒ *too many* (minimality violated).
+
+The paper's caveat (§4) applies: checkpoints forced only by messages
+received *during* the checkpointing (request-delay artefacts) are part
+of the closure here because the closure is computed against the actual
+capture points, so the comparison is exact rather than approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.checkpointing.types import Trigger
+from repro.sim.trace import TraceLog
+
+
+@dataclass
+class MinimalityReport:
+    """Outcome of the Theorem 3 check for one initiation."""
+
+    trigger: Trigger
+    participants: Set[int]
+    required: Set[int]
+    dependency_edges: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def missing(self) -> Set[int]:
+        """Processes that had to checkpoint but did not (unsafe!)."""
+        return self.required - self.participants
+
+    @property
+    def excess(self) -> Set[int]:
+        """Processes that checkpointed without being required."""
+        return self.participants - self.required
+
+    @property
+    def minimal(self) -> bool:
+        return not self.missing and not self.excess
+
+    def __str__(self) -> str:
+        return (
+            f"initiation {self.trigger}: participants={sorted(self.participants)} "
+            f"required={sorted(self.required)} missing={sorted(self.missing)} "
+            f"excess={sorted(self.excess)}"
+        )
+
+
+def _capture_positions(trace: TraceLog) -> Dict[int, List[Tuple[int, Optional[Trigger], int]]]:
+    """Per pid: (position, trigger, ckpt_id) of every stable capture,
+    in trace order. Mutable records are excluded (they are not stable
+    unless promoted, and promotion re-emits 'tentative' whose *capture*
+    point is the mutable record — handled below)."""
+    captures: Dict[int, List[Tuple[int, Optional[Trigger], int]]] = {}
+    seen_ids: Set[int] = set()
+    mutable_pos: Dict[int, int] = {}
+    for index, record in enumerate(trace):
+        if record.kind == "mutable":
+            mutable_pos[record["ckpt_id"]] = index
+        elif record.kind in ("tentative", "permanent"):
+            ckpt_id = record.get("ckpt_id")
+            if ckpt_id is None or ckpt_id in seen_ids:
+                continue
+            seen_ids.add(ckpt_id)
+            position = mutable_pos.get(ckpt_id, index)
+            captures.setdefault(record["pid"], []).append(
+                (position, record.get("trigger"), ckpt_id)
+            )
+    for entries in captures.values():
+        entries.sort()
+    return captures
+
+
+def must_checkpoint_set(trace: TraceLog, trigger: Trigger) -> MinimalityReport:
+    """Compute the z-dependency closure for ``trigger`` and compare it
+    with the actual participant set."""
+    captures = _capture_positions(trace)
+    participants: Set[int] = set()
+    ckpt_pos: Dict[int, int] = {}
+    prev_pos: Dict[int, int] = {}
+    for pid, entries in captures.items():
+        for position, trig, _ in entries:
+            if trig == trigger:
+                participants.add(pid)
+                ckpt_pos[pid] = position
+        # previous stable capture: the newest one strictly before this
+        # initiation's checkpoint (or the newest overall for outsiders)
+        bound = ckpt_pos.get(pid)
+        candidates = [
+            position
+            for position, trig, _ in entries
+            if trig != trigger and (bound is None or position < bound)
+        ]
+        prev_pos[pid] = max(candidates) if candidates else -1
+
+    sends: Dict[int, Tuple[int, int]] = {}
+    edges: List[Tuple[int, int, int, int]] = []  # (src, dst, send_pos, recv_pos)
+    for index, record in enumerate(trace):
+        if record.kind == "comp_send":
+            sends[record["msg_id"]] = (index, record["src"])
+        elif record.kind == "comp_recv":
+            sent = sends.get(record["msg_id"])
+            if sent is not None:
+                edges.append((record["src"], record["dst"], sent[0], index))
+
+    # Build the z-dependency graph: edge Q -> P when P, if it checkpoints
+    # for this trigger, records a receive whose send is after Q's
+    # previous checkpoint (so Q is dragged in).
+    graph = nx.DiGraph()
+    graph.add_node(trigger.pid)
+    must_edges: List[Tuple[int, int]] = []
+    for src, dst, send_pos, recv_pos in edges:
+        cut = ckpt_pos.get(dst)
+        if cut is None or recv_pos >= cut:
+            continue  # receive not recorded in dst's trigger checkpoint
+        if send_pos <= prev_pos.get(src, -1):
+            continue  # send already covered by src's previous checkpoint
+        graph.add_edge(dst, src)
+        must_edges.append((src, dst))
+
+    required = {trigger.pid}
+    if graph.has_node(trigger.pid):
+        required |= nx.descendants(graph, trigger.pid)
+    return MinimalityReport(
+        trigger=trigger,
+        participants=participants,
+        required=required,
+        dependency_edges=must_edges,
+    )
+
+
+def check_minimality(trace: TraceLog) -> List[MinimalityReport]:
+    """Reports for every committed initiation in the trace."""
+    reports = []
+    for record in trace.of_kind("commit"):
+        reports.append(must_checkpoint_set(trace, record["trigger"]))
+    return reports
+
+
+def assert_minimal(trace: TraceLog) -> None:
+    """Raise AssertionError if any committed initiation is non-minimal."""
+    for report in check_minimality(trace):
+        assert report.minimal, str(report)

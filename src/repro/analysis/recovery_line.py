@@ -1,0 +1,116 @@
+"""Maximal consistent recovery-line search and the domino effect (§6).
+
+Uncoordinated checkpointing leaves each process with a *history* of
+checkpoints and no guarantee that the newest ones fit together; recovery
+must search backwards for a consistent combination, possibly cascading —
+the domino effect. Coordinated checkpointing exists to avoid exactly
+this.
+
+:func:`maximal_consistent_line` implements the classic fixed-point
+search over vector-clock snapshots: start from every process's newest
+checkpoint; while some checkpoint has observed more of process i than
+i's own chosen checkpoint records, roll the observer back; repeat. The
+result is the unique maximal consistent line (the lattice of consistent
+cuts guarantees the greedy fixed point is maximal), and the number of
+checkpoints skipped per process measures the domino depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.checkpointing.storage import StableStorage
+from repro.checkpointing.types import CheckpointKind, CheckpointRecord
+from repro.errors import InconsistentCheckpointError
+
+
+@dataclass
+class RecoveryLineSearch:
+    """Result of the maximal-consistent-line search."""
+
+    line: Dict[int, CheckpointRecord]
+    #: checkpoints skipped per process (0 = its newest one was usable)
+    rollback_depth: Dict[int, int]
+    iterations: int
+
+    @property
+    def total_rollback_depth(self) -> int:
+        return sum(self.rollback_depth.values())
+
+    @property
+    def domino(self) -> bool:
+        """Whether any process had to discard more than one checkpoint."""
+        return any(depth > 1 for depth in self.rollback_depth.values())
+
+    @property
+    def line_times(self) -> Dict[int, float]:
+        return {pid: rec.time_taken for pid, rec in self.line.items()}
+
+
+def checkpoint_histories(
+    storages: Iterable[StableStorage], pids: Iterable[int]
+) -> Dict[int, List[CheckpointRecord]]:
+    """Per process: permanent checkpoints, oldest first, across storages."""
+    histories: Dict[int, List[CheckpointRecord]] = {}
+    storage_list = list(storages)
+    for pid in pids:
+        records: List[CheckpointRecord] = []
+        for storage in storage_list:
+            records.extend(
+                r
+                for r in storage.checkpoints_of(pid)
+                if r.kind is CheckpointKind.PERMANENT
+            )
+        records.sort(key=lambda r: r.ckpt_id)
+        if not records:
+            raise InconsistentCheckpointError(f"no permanent checkpoint for p{pid}")
+        histories[pid] = records
+    return histories
+
+
+def maximal_consistent_line(
+    histories: Dict[int, List[CheckpointRecord]]
+) -> RecoveryLineSearch:
+    """Greedy fixed-point search for the newest consistent line.
+
+    Requires every checkpoint record to carry a vector-clock snapshot.
+    Terminates because indices only decrease and the all-initial line
+    (vector clocks of zeros) is always consistent.
+    """
+    index = {pid: len(records) - 1 for pid, records in histories.items()}
+    iterations = 0
+    while True:
+        iterations += 1
+        current = {pid: histories[pid][i] for pid, i in index.items()}
+        violator = None
+        for pid_j, rec_j in current.items():
+            for pid_i, rec_i in current.items():
+                if pid_i == pid_j:
+                    continue
+                # rec_j observed more of pid_i than pid_i's checkpoint
+                # records: rec_j is an orphan-holder and must roll back.
+                if rec_j.vector_clock[pid_i] > rec_i.vector_clock[pid_i]:
+                    violator = pid_j
+                    break
+            if violator is not None:
+                break
+        if violator is None:
+            depth = {
+                pid: len(histories[pid]) - 1 - i for pid, i in index.items()
+            }
+            return RecoveryLineSearch(
+                line=current, rollback_depth=depth, iterations=iterations
+            )
+        if index[violator] == 0:
+            raise InconsistentCheckpointError(
+                f"p{violator} exhausted its history without reaching consistency"
+            )
+        index[violator] -= 1
+
+
+def search_recovery_line(
+    storages: Iterable[StableStorage], pids: Iterable[int]
+) -> RecoveryLineSearch:
+    """Convenience: histories from storage, then the fixed-point search."""
+    return maximal_consistent_line(checkpoint_histories(storages, pids))

@@ -1,0 +1,76 @@
+"""Statistics helpers: means and confidence intervals.
+
+The paper reports means over many samples with 95 % confidence intervals
+within ~10 % of the mean (§5.2); :func:`summarize` computes the same
+Student-t interval so experiment output can state whether a run met the
+paper's precision bar.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as _scipy_stats
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean with a symmetric confidence interval."""
+
+    n: int
+    mean: float
+    stdev: float
+    ci_halfwidth: float
+    confidence: float
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci_halfwidth
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci_halfwidth
+
+    @property
+    def relative_ci(self) -> float:
+        """CI half-width as a fraction of the mean (inf when mean is 0)."""
+        if self.mean == 0:
+            return math.inf if self.ci_halfwidth > 0 else 0.0
+        return abs(self.ci_halfwidth / self.mean)
+
+    def meets_paper_precision(self, threshold: float = 0.10) -> bool:
+        """Whether the 95 % CI is within ``threshold`` of the mean (§5.2)."""
+        return self.relative_ci <= threshold
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.ci_halfwidth:.2g} (n={self.n})"
+
+
+def summarize(samples: Sequence[float], confidence: float = 0.95) -> Summary:
+    """Mean and Student-t confidence interval of ``samples``."""
+    n = len(samples)
+    if n == 0:
+        return Summary(0, 0.0, 0.0, 0.0, confidence)
+    mean = sum(samples) / n
+    if n == 1:
+        return Summary(1, mean, 0.0, math.inf, confidence)
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    stdev = math.sqrt(variance)
+    t_crit = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, n - 1))
+    halfwidth = t_crit * stdev / math.sqrt(n)
+    return Summary(n, mean, stdev, halfwidth, confidence)
+
+
+def required_samples(summary: Summary, target_relative_ci: float = 0.10) -> int:
+    """Rough sample size needed to shrink the CI to the target.
+
+    Uses the normal approximation: n ∝ (stdev / (target · mean))².
+    Returns at least the current n.
+    """
+    if summary.mean == 0 or summary.stdev == 0:
+        return summary.n
+    z = 1.96
+    needed = (z * summary.stdev / (target_relative_ci * abs(summary.mean))) ** 2
+    return max(summary.n, math.ceil(needed))

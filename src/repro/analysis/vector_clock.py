@@ -1,0 +1,74 @@
+"""Vector clocks (Mattern/Fidge) used by the verification layer.
+
+The runtime stamps every computation message with the sender's vector
+clock and merges on delivery. Checkpoints snapshot the clock, giving the
+consistency checker a protocol-independent way to decide whether a set
+of checkpoints could contain an orphan message: a global checkpoint
+``{ckpt_i}`` is consistent iff for all i, j:
+``ckpt_j.vc[i] <= ckpt_i.vc[i]`` — no checkpoint has observed more of
+process i than process i's own checkpoint records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+class VectorClock:
+    """A mutable vector clock for one process."""
+
+    __slots__ = ("pid", "clock")
+
+    def __init__(self, pid: int, n: int) -> None:
+        self.pid = pid
+        self.clock: List[int] = [0] * n
+
+    def tick(self) -> None:
+        """Advance the local component (one local event)."""
+        self.clock[self.pid] += 1
+
+    def merge(self, other: Sequence[int]) -> None:
+        """Componentwise max with a received timestamp."""
+        clock = self.clock
+        for i, value in enumerate(other):
+            if value > clock[i]:
+                clock[i] = value
+
+    def snapshot(self) -> Tuple[int, ...]:
+        """An immutable copy of the current clock."""
+        return tuple(self.clock)
+
+    def restore(self, snap: Sequence[int]) -> None:
+        """Reset the clock to a snapshot (used by rollback)."""
+        self.clock = list(snap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VC p{self.pid} {self.clock}>"
+
+
+def happened_before(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Whether timestamp ``a`` causally precedes ``b`` (a < b)."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def concurrent(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Whether two timestamps are causally unordered."""
+    return not happened_before(a, b) and not happened_before(b, a) and tuple(a) != tuple(b)
+
+
+def snapshot_consistent(snapshots: Iterable[Tuple[int, Tuple[int, ...]]]) -> bool:
+    """Consistency test for a global checkpoint.
+
+    ``snapshots`` is an iterable of ``(pid, vector_clock)`` pairs, one per
+    process. Returns True iff no pair exhibits an orphan: for every i, j,
+    ``vc_j[i] <= vc_i[i]``.
+    """
+    items = list(snapshots)
+    own = {pid: vc[pid] for pid, vc in items}
+    for pid_j, vc_j in items:
+        for pid_i, own_i in own.items():
+            if pid_i == pid_j:
+                continue
+            if vc_j[pid_i] > own_i:
+                return False
+    return True

@@ -1,0 +1,55 @@
+"""Checkpointing protocols and supporting machinery.
+
+The paper's contribution lives in :mod:`repro.checkpointing.mutable`;
+the baselines used in the Table 1 comparison and the §3.1.1 ablation
+schemes live alongside it.
+"""
+
+from repro.checkpointing.chandy_lamport import ChandyLamportProcess, ChandyLamportProtocol
+from repro.checkpointing.elnozahy import ElnozahyProcess, ElnozahyProtocol
+from repro.checkpointing.koo_toueg import KooTouegProcess, KooTouegProtocol
+from repro.checkpointing.mutable import MutableCheckpointProcess, MutableCheckpointProtocol
+from repro.checkpointing.protocol import CheckpointProtocol, ProcessEnv, ProtocolProcess
+from repro.checkpointing.simple_schemes import (
+    BasicCsnProtocol,
+    NoMutableVariantProtocol,
+    RevisedCsnProtocol,
+)
+from repro.checkpointing.storage import LocalStore, StableStorage
+from repro.checkpointing.types import (
+    CheckpointKind,
+    CheckpointRecord,
+    MREntry,
+    MutableCheckpointRecord,
+    Trigger,
+    fresh_mr,
+)
+from repro.checkpointing.weights import WeightLedger, as_weight, split
+
+__all__ = [
+    "BasicCsnProtocol",
+    "ChandyLamportProcess",
+    "ChandyLamportProtocol",
+    "CheckpointKind",
+    "CheckpointProtocol",
+    "CheckpointRecord",
+    "ElnozahyProcess",
+    "ElnozahyProtocol",
+    "KooTouegProcess",
+    "KooTouegProtocol",
+    "LocalStore",
+    "MREntry",
+    "MutableCheckpointProcess",
+    "MutableCheckpointProtocol",
+    "MutableCheckpointRecord",
+    "NoMutableVariantProtocol",
+    "ProcessEnv",
+    "ProtocolProcess",
+    "RevisedCsnProtocol",
+    "StableStorage",
+    "Trigger",
+    "WeightLedger",
+    "as_weight",
+    "fresh_mr",
+    "split",
+]

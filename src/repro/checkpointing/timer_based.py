@@ -1,0 +1,142 @@
+"""Checkpointing from loosely synchronized clocks ([10], [29]; paper §6).
+
+No coordination messages at all: every process takes its round-k
+checkpoint when its own clock reaches ``k * interval``, and clocks are
+assumed synchronized within ``max_skew``. The §6 catch: "a process
+taking a checkpoint needs to wait for a period that equals the sum of
+the maximum deviation between clocks and the maximum time to detect a
+failure in another process" — i.e. the computation blocks for
+``2 * max_skew + detection_time`` at every round, or a fast-clock
+process could receive (and record) a message a slow-clock process sends
+after its own checkpoint, creating an orphan.
+
+Rounds are self-scheduled (there is no initiator); the experiment-runner
+initiation pattern does not apply — call :meth:`TimerBasedProtocol.start`
+after building the system and drive the simulation directly. Round
+commits are reported through the usual listener interface (by the
+lowest pid) so metrics extraction works unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.checkpointing.protocol import CheckpointProtocol, ProcessEnv, ProtocolProcess
+from repro.checkpointing.types import CheckpointKind, CheckpointRecord, Trigger
+from repro.errors import ProtocolError
+from repro.net.message import ComputationMessage, SystemMessage
+
+
+class TimerBasedProcess(ProtocolProcess):
+    """Per-process state: a clock with bounded skew and a round counter."""
+
+    def __init__(self, env: ProcessEnv, protocol: "TimerBasedProtocol") -> None:
+        super().__init__(env)
+        self.protocol = protocol
+        self.round = 0
+        # Deterministic skew in [-max_skew, +max_skew], spread across pids.
+        span = protocol.max_skew
+        fraction = ((self.pid * 2654435761) % 997) / 996.0
+        self.skew = (2.0 * fraction - 1.0) * span
+        self._pending: Optional[CheckpointRecord] = None
+
+    # -- the protocol has no message behaviour at all -----------------------
+    def on_send_computation(self, message: ComputationMessage) -> None:
+        pass
+
+    def on_receive_computation(self, message, deliver: Callable[[], None]) -> None:
+        deliver()
+
+    def on_system_message(self, message: SystemMessage) -> None:
+        raise ProtocolError("timer-based checkpointing exchanges no messages")
+
+    def initiate(self) -> bool:
+        # There is no on-demand initiation: checkpoints come from clocks
+        # only. (One of the §6 limitations: no output-commit on demand.)
+        return False
+
+    # -- round machinery ------------------------------------------------------
+    def schedule_round(self, round_index: int, fire_at: float) -> None:
+        """Arm round ``round_index`` at global time (plus local skew)."""
+        local_fire = max(fire_at + self.skew - self.env.now(), 0.0)
+        self.env.schedule(local_fire, lambda: self._take_round(round_index))
+
+    def _take_round(self, round_index: int) -> None:
+        self.round = round_index
+        trigger = Trigger(self.pid, round_index)
+        self.env.block_computation()
+        record = self.make_checkpoint(
+            round_index, CheckpointKind.TENTATIVE, trigger
+        )
+        self._pending = record
+        self.env.trace(
+            "tentative",
+            pid=self.pid,
+            trigger=trigger,
+            csn=round_index,
+            ckpt_id=record.ckpt_id,
+        )
+        self.env.transfer_to_stable(record, lambda: None)
+        # The §6 wait: cover every other clock plus failure detection.
+        wait = 2.0 * self.protocol.max_skew + self.protocol.detection_time
+        self.env.schedule(wait, lambda: self._finish_round(trigger))
+
+    def _finish_round(self, trigger: Trigger) -> None:
+        record = self._pending
+        if record is not None:
+            self.env.make_permanent(record)
+            self.env.trace(
+                "permanent", pid=self.pid, trigger=trigger, ckpt_id=record.ckpt_id
+            )
+            self._pending = None
+        self.env.unblock_computation()
+        if self.pid == 0:
+            self.env.trace("commit", trigger=Trigger(0, trigger.inum))
+            self.protocol.notify_commit(Trigger(0, trigger.inum))
+
+
+class TimerBasedProtocol(CheckpointProtocol):
+    """System-wide factory for the loosely-synchronized-clocks baseline.
+
+    Parameters
+    ----------
+    interval:
+        Round period in seconds.
+    max_skew:
+        Bound on any clock's deviation from true time.
+    detection_time:
+        Maximum time to detect another process's failure (part of the
+        §6 waiting period).
+    """
+
+    name = "timer-based"
+    blocking = True
+    distributed = True
+
+    def __init__(
+        self,
+        interval: float = 900.0,
+        max_skew: float = 1.0,
+        detection_time: float = 2.0,
+    ) -> None:
+        super().__init__()
+        if max_skew < 0 or detection_time < 0 or interval <= 0:
+            raise ProtocolError("invalid timer-based parameters")
+        self.interval = interval
+        self.max_skew = max_skew
+        self.detection_time = detection_time
+        self._rounds_scheduled = 0
+
+    def _build_process(self, env: ProcessEnv) -> TimerBasedProcess:
+        return TimerBasedProcess(env, self)
+
+    def start(self, rounds: int, first_at: Optional[float] = None) -> None:
+        """Schedule ``rounds`` checkpoint rounds on every process."""
+        if not self.processes:
+            raise ProtocolError("start() before any process exists")
+        base = first_at if first_at is not None else self.interval
+        for k in range(1, rounds + 1):
+            fire_at = base + (k - 1) * self.interval
+            for process in self.processes.values():
+                process.schedule_round(self._rounds_scheduled + k, fire_at)
+        self._rounds_scheduled += rounds

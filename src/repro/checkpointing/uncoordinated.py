@@ -1,0 +1,116 @@
+"""The Acharya-Badrinath uncoordinated baseline [1] (paper §6).
+
+The first checkpointing algorithm for mobile computing: an MH takes a
+local checkpoint whenever a message reception is preceded by a message
+sent since its last checkpoint. No coordination at all — and therefore,
+as §6 points out:
+
+* "If the send and receive of messages are interleaved, the number of
+  local checkpoints will be equal to half of the number of computation
+  messages" — measured by the ablation bench;
+* recovery must *search* for a consistent line among the accumulated
+  checkpoints and can cascade (the domino effect) — demonstrated with
+  :mod:`repro.analysis.recovery_line`.
+
+Every checkpoint is unilateral and immediately permanent (the stable
+transfer still pays the wireless cost). Timer-driven initiations take an
+unconditional local checkpoint, so the experiment runner's scheduling
+works unchanged; "commit" here means only "the local checkpoint is on
+stable storage".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.checkpointing.protocol import CheckpointProtocol, ProcessEnv, ProtocolProcess
+from repro.checkpointing.types import CheckpointKind, Trigger
+from repro.errors import ProtocolError
+from repro.net.message import ComputationMessage, SystemMessage
+
+
+class UncoordinatedProcess(ProtocolProcess):
+    """Per-process state of the Acharya-Badrinath rule."""
+
+    def __init__(self, env: ProcessEnv, protocol: "UncoordinatedProtocol") -> None:
+        super().__init__(env)
+        self.protocol = protocol
+        self.csn = 0
+        #: sent a message since the last local checkpoint
+        self.sent_since_checkpoint = False
+
+    def on_send_computation(self, message: ComputationMessage) -> None:
+        self.sent_since_checkpoint = True
+
+    def on_receive_computation(self, message, deliver: Callable[[], None]) -> None:
+        if self.protocol.ab_rule and self.sent_since_checkpoint:
+            # The AB rule: receive preceded by a send forces a checkpoint
+            # *before* processing, so every checkpoint interval has the
+            # shape (receives)(sends). This keeps rollback cascades
+            # shallow whenever senders checkpoint regularly — though a
+            # process that only ever sends can still invalidate multiple
+            # checkpoints of its correspondents (found by property
+            # testing; the full AB system also logs messages).
+            self._take_checkpoint(reason="receive-after-send")
+        deliver()
+
+    def initiate(self) -> bool:
+        self._take_checkpoint(reason="scheduled")
+        self.protocol.notify_commit(Trigger(self.pid, self.csn))
+        return True
+
+    def _take_checkpoint(self, reason: str) -> None:
+        self.csn += 1
+        trigger = Trigger(self.pid, self.csn)
+        record = self.make_checkpoint(self.csn, CheckpointKind.TENTATIVE, None)
+        self.sent_since_checkpoint = False
+        self.env.trace(
+            "tentative",
+            pid=self.pid,
+            trigger=None,
+            csn=self.csn,
+            ckpt_id=record.ckpt_id,
+            uncoordinated=True,
+            reason=reason,
+        )
+
+        def finish() -> None:
+            self.env.make_permanent(record)
+            self.env.trace(
+                "permanent",
+                pid=self.pid,
+                trigger=None,
+                ckpt_id=record.ckpt_id,
+                uncoordinated=True,
+            )
+
+        self.env.transfer_to_stable(record, finish)
+
+    def on_system_message(self, message: SystemMessage) -> None:
+        raise ProtocolError(
+            f"uncoordinated protocol received a system message {message.subkind!r}"
+        )
+
+
+class UncoordinatedProtocol(CheckpointProtocol):
+    """System-wide factory for the Acharya-Badrinath baseline.
+
+    Note that :func:`repro.analysis.consistency.latest_permanent_line`
+    is NOT guaranteed consistent for this protocol — that is the point.
+    Use :func:`repro.analysis.recovery_line.maximal_consistent_line`.
+    """
+
+    name = "uncoordinated"
+    blocking = False
+    distributed = True
+    gc_permanents = False
+
+    def __init__(self, ab_rule: bool = True) -> None:
+        super().__init__()
+        #: with the rule off, checkpoints are purely periodic — the
+        #: classic uncoordinated setting whose recovery cascades (the
+        #: domino effect the AB rule was designed to eliminate)
+        self.ab_rule = ab_rule
+
+    def _build_process(self, env: ProcessEnv) -> UncoordinatedProcess:
+        return UncoordinatedProcess(env, self)

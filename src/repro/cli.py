@@ -1,0 +1,198 @@
+"""Command-line interface.
+
+Installed as ``repro-sim``; also runnable as ``python -m repro.cli``.
+
+Subcommands::
+
+    repro-sim protocols                    list available protocols
+    repro-sim run --protocol mutable ...   run one experiment
+    repro-sim figures                      reproduce Figs. 1-4
+    repro-sim table1                       the three-way comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.comparison import (
+    CostParameters,
+    analytic_table,
+    format_table,
+    measured_row,
+)
+from repro.analysis.consistency import assert_line_consistent, latest_permanent_line
+from repro.core.config import (
+    GroupWorkloadConfig,
+    PointToPointWorkloadConfig,
+    RunConfig,
+    SystemConfig,
+)
+from repro.core.registry import available_protocols, build_protocol
+from repro.core.runner import ExperimentRunner
+from repro.core.system import MobileSystem
+from repro.workload.group import GroupWorkload
+from repro.workload.point_to_point import PointToPointWorkload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Mutable-checkpoints reproduction (Cao & Singhal)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("protocols", help="list available checkpointing protocols")
+
+    run = sub.add_parser("run", help="run one experiment and print the summary")
+    run.add_argument("--protocol", default="mutable", choices=available_protocols())
+    run.add_argument("--processes", type=int, default=16)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--rate", type=float, default=0.01,
+                     help="messages per second per process")
+    run.add_argument("--initiations", type=int, default=10)
+    run.add_argument("--workload", choices=["p2p", "group"], default="p2p")
+    run.add_argument("--group-ratio", type=float, default=1000.0)
+    run.add_argument("--interval", type=float, default=900.0,
+                     help="checkpoint interval in seconds")
+    run.add_argument("--export-trace", metavar="PATH",
+                     help="write the run's trace as JSON lines")
+    run.add_argument("--verify", action="store_true",
+                     help="check the final recovery line for consistency")
+
+    sub.add_parser("figures", help="reproduce the paper's Figs. 1-4")
+    sub.add_parser("table1", help="run the three-way Table 1 comparison")
+
+    report = sub.add_parser(
+        "report", help="regenerate the full paper-vs-measured report"
+    )
+    report.add_argument("--output", default="report.md")
+    report.add_argument("--scale", choices=["quick", "default", "full"],
+                        default="default")
+
+    verify = sub.add_parser(
+        "verify-trace", help="re-verify an archived trace (JSON lines)"
+    )
+    verify.add_argument("path")
+    return parser
+
+
+def _cmd_protocols() -> int:
+    for name in available_protocols():
+        protocol = build_protocol(name)
+        flags = []
+        flags.append("blocking" if protocol.blocking else "nonblocking")
+        flags.append("distributed" if protocol.distributed else "centralized")
+        print(f"{name:16s} {', '.join(flags)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = SystemConfig(
+        n_processes=args.processes,
+        seed=args.seed,
+        checkpoint_interval=args.interval,
+        trace_messages=bool(args.verify or args.export_trace),
+    )
+    system = MobileSystem(config, build_protocol(args.protocol))
+    if args.workload == "p2p":
+        workload = PointToPointWorkload(
+            system, PointToPointWorkloadConfig(1.0 / args.rate)
+        )
+    else:
+        workload = GroupWorkload(
+            system,
+            GroupWorkloadConfig(
+                mean_send_interval=1.0 / args.rate,
+                intra_inter_ratio=args.group_ratio,
+            ),
+        )
+    runner = ExperimentRunner(
+        system, workload, RunConfig(max_initiations=args.initiations)
+    )
+    result = runner.run()
+    print(f"protocol                : {result.protocol}")
+    print(f"initiations (measured)  : {result.n_initiations}")
+    print(f"tentative / initiation  : {result.tentative_summary()}")
+    print(f"redundant mutable       : {result.redundant_mutable_summary()}")
+    print(f"checkpointing time      : {result.duration_summary()} s")
+    print(f"blocked process-seconds : {result.total_blocked_time:.1f}")
+    print(f"system messages         : {result.counters.get('system_messages', 0):.0f}")
+    if args.verify:
+        line = latest_permanent_line(system.all_stable_storages(), system.processes)
+        assert_line_consistent(system.sim.trace, line)
+        print("recovery line           : consistent")
+    if args.export_trace:
+        from repro.sim.export import save_trace
+
+        count = save_trace(system.sim.trace, args.export_trace)
+        print(f"trace exported          : {count} records -> {args.export_trace}")
+    return 0
+
+
+def _cmd_figures() -> int:
+    from repro.scenarios.figures import all_figures
+
+    for result in all_figures():
+        status = "consistent" if result.consistent else "INCONSISTENT (as intended)"
+        print(f"{result.figure:16s} {status:28s} {result.notes}")
+    return 0
+
+
+def _cmd_table1() -> int:
+    rows = []
+    for name in ("koo-toueg", "elnozahy", "mutable"):
+        config = SystemConfig(n_processes=16, seed=21, trace_messages=False)
+        system = MobileSystem(config, build_protocol(name))
+        workload = PointToPointWorkload(system, PointToPointWorkloadConfig(220.0))
+        runner = ExperimentRunner(
+            system, workload, RunConfig(max_initiations=12, warmup_initiations=2)
+        )
+        rows.append(measured_row(runner.run()))
+    print(format_table(rows, "Table 1 (measured)"))
+    n_min = rows[-1].checkpoints
+    print()
+    print(
+        format_table(
+            analytic_table(CostParameters(n=16, n_min=n_min, n_dep=4.0)),
+            f"Table 1 (paper formulas, N_min={n_min:.1f})",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "protocols":
+        return _cmd_protocols()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figures":
+        return _cmd_figures()
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "report":
+        from repro.reporting import ReportScale, write_report
+
+        scale = {
+            "quick": ReportScale.quick(),
+            "default": ReportScale(),
+            "full": ReportScale.full(),
+        }[args.scale]
+        write_report(args.output, scale)
+        print(f"report written to {args.output}")
+        return 0
+    if args.command == "verify-trace":
+        from repro.analysis.offline import verify_trace_file
+
+        verdict = verify_trace_file(args.path)
+        print(verdict)
+        for orphan in verdict.orphans[:10]:
+            print(f"  {orphan}")
+        return 0 if verdict.consistent else 1
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

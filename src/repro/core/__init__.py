@@ -1,0 +1,24 @@
+"""Public experiment API: configuration, system builder, runner."""
+
+from repro.core.config import (
+    GroupWorkloadConfig,
+    PointToPointWorkloadConfig,
+    RunConfig,
+    SystemConfig,
+)
+from repro.core.process import AppProcess, RuntimeEnv
+from repro.core.results import RunResult
+from repro.core.runner import ExperimentRunner
+from repro.core.system import MobileSystem
+
+__all__ = [
+    "AppProcess",
+    "ExperimentRunner",
+    "GroupWorkloadConfig",
+    "MobileSystem",
+    "PointToPointWorkloadConfig",
+    "RunConfig",
+    "RunResult",
+    "RuntimeEnv",
+    "SystemConfig",
+]

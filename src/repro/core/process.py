@@ -1,0 +1,287 @@
+"""Application process runtime.
+
+An :class:`AppProcess` glues together one application process: it owns
+the (simulated) application state and vector clock, feeds incoming
+messages through the checkpointing protocol, applies blocking for
+blocking protocols, and exposes the :class:`RuntimeEnv` through which the
+protocol acts on the world.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.vector_clock import VectorClock
+from repro.checkpointing.protocol import ProcessEnv
+from repro.checkpointing.storage import LocalStore
+from repro.checkpointing.types import CheckpointKind, CheckpointRecord
+from repro.errors import ProtocolError, StorageError
+from repro.net.message import (
+    CheckpointDataMessage,
+    ComputationMessage,
+    Message,
+    SystemMessage,
+)
+from repro.net.mh import MobileHost
+from repro.net.node import Host
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.system import MobileSystem
+
+
+class AppProcess:
+    """One application process with its protocol instance and state."""
+
+    def __init__(self, system: "MobileSystem", pid: int, host: Host) -> None:
+        self.system = system
+        self.pid = pid
+        self.host = host
+        self.vc = VectorClock(pid, system.config.n_processes)
+        self.app_state: Dict[str, Any] = {
+            "messages_sent": 0,
+            "messages_received": 0,
+            "steps": 0,
+        }
+        self.local_store = LocalStore(name=f"local-p{pid}")
+        #: recovery incarnation: computation messages from older
+        #: incarnations (in flight across a rollback) are discarded
+        self.incarnation = 0
+        #: out-of-band system-message handlers (e.g. distributed
+        #: recovery), dispatched by subkind before the protocol sees them
+        self._system_handlers: Dict[str, Callable[[SystemMessage], None]] = {}
+        self.env = RuntimeEnv(self)
+        self.protocol_process = system.protocol.create_process(self.env)
+        # blocking support (used by blocking baselines)
+        self.blocked = False
+        self.blocked_since: Optional[float] = None
+        self.total_blocked_time = 0.0
+        self._deferred_sends: List[Tuple[int, Any]] = []
+        self._deferred_receives: List[ComputationMessage] = []
+        host.attach_process(pid, self.on_message)
+
+    # -- application actions ------------------------------------------------
+    def send_computation(self, dst_pid: int, payload: Any = None) -> None:
+        """Send an application message (deferred while blocked)."""
+        if self.blocked:
+            self._deferred_sends.append((dst_pid, payload))
+            return
+        self._do_send(dst_pid, payload)
+
+    def _do_send(self, dst_pid: int, payload: Any) -> None:
+        self.vc.tick()
+        message = ComputationMessage(src_pid=self.pid, dst_pid=dst_pid, payload=payload)
+        message.piggyback["vc"] = self.vc.snapshot()
+        if self.incarnation:
+            message.piggyback["inc"] = self.incarnation
+        self.protocol_process.on_send_computation(message)
+        self.app_state["messages_sent"] += 1
+        if self.system.config.trace_messages:
+            self.system.sim.trace.record(
+                self.system.sim.now,
+                "comp_send",
+                src=self.pid,
+                dst=dst_pid,
+                msg_id=message.msg_id,
+            )
+        self.system.monitor.increment("computation_messages")
+        self.system.workload_send(self, message)
+        self.system.network.send_from_process(self.pid, message)
+
+    # -- message reception ----------------------------------------------------
+    def register_system_handler(
+        self, subkind: str, handler: Callable[[SystemMessage], None]
+    ) -> None:
+        """Intercept system messages of ``subkind`` before the protocol
+        (used by the distributed recovery layer)."""
+        self._system_handlers[subkind] = handler
+
+    def on_message(self, message: Message) -> None:
+        """Entry point for every message the host delivers to this pid."""
+        if isinstance(message, SystemMessage):
+            handler = self._system_handlers.get(message.subkind)
+            if handler is not None:
+                handler(message)
+                return
+            self.protocol_process.on_system_message(message)
+        elif isinstance(message, ComputationMessage):
+            if message.piggyback.get("inc", 0) < self.incarnation:
+                # A ghost from a rolled-back incarnation: drop it.
+                self.system.monitor.increment("stale_incarnation_dropped")
+                return
+            if self.blocked:
+                self._deferred_receives.append(message)
+                return
+            self.protocol_process.on_receive_computation(
+                message, lambda m=message: self._deliver(m)
+            )
+        else:
+            raise ProtocolError(
+                f"process {self.pid} received unroutable message kind {message.kind}"
+            )
+
+    def _deliver(self, message: ComputationMessage) -> None:
+        """Hand a computation message to the application."""
+        vc_stamp = message.piggyback.get("vc")
+        if vc_stamp is not None:
+            self.vc.merge(vc_stamp)
+        self.vc.tick()
+        self.app_state["messages_received"] += 1
+        self.app_state["steps"] += 1
+        if self.system.config.trace_messages:
+            self.system.sim.trace.record(
+                self.system.sim.now,
+                "comp_recv",
+                src=message.src_pid,
+                dst=self.pid,
+                msg_id=message.msg_id,
+            )
+        self.system.workload_deliver(self, message)
+
+    # -- blocking (for blocking protocols) -----------------------------------------
+    def block(self) -> None:
+        """Suspend the underlying computation."""
+        if self.blocked:
+            return
+        self.blocked = True
+        self.blocked_since = self.system.sim.now
+        self.system.sim.trace.record(self.system.sim.now, "blocked", pid=self.pid)
+
+    def unblock(self) -> None:
+        """Resume the computation and replay deferred activity in order."""
+        if not self.blocked:
+            return
+        self.blocked = False
+        assert self.blocked_since is not None
+        duration = self.system.sim.now - self.blocked_since
+        self.total_blocked_time += duration
+        self.system.monitor.observe("blocking_time", duration)
+        self.blocked_since = None
+        self.system.sim.trace.record(self.system.sim.now, "unblocked", pid=self.pid)
+        receives, self._deferred_receives = self._deferred_receives, []
+        for message in receives:
+            self.protocol_process.on_receive_computation(
+                message, lambda m=message: self._deliver(m)
+            )
+        sends, self._deferred_sends = self._deferred_sends, []
+        for dst_pid, payload in sends:
+            self.send_computation(dst_pid, payload)
+
+    # -- state capture / restore (checkpointing and recovery) ------------------------
+    def capture_state(self) -> Dict[str, Any]:
+        """Deep-enough copy of the application state."""
+        return dict(self.app_state)
+
+    def restore_state(self, state: Dict[str, Any], vc: Tuple[int, ...]) -> None:
+        """Roll the application back to a checkpointed state."""
+        self.app_state = dict(state)
+        self.vc.restore(vc)
+
+    def discard_deferred(self) -> None:
+        """Drop buffered activity (a rollback invalidates it)."""
+        self._deferred_sends.clear()
+        self._deferred_receives.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AppProcess p{self.pid} on {self.host.name}>"
+
+
+class RuntimeEnv(ProcessEnv):
+    """The :class:`ProcessEnv` implementation backed by the full system."""
+
+    def __init__(self, process: AppProcess) -> None:
+        self.process = process
+        self.system = process.system
+        self.pid = process.pid
+        self.n = self.system.config.n_processes
+
+    def now(self) -> float:
+        return self.system.sim.now
+
+    def send_system(self, dst_pid: int, subkind: str, fields: Dict[str, Any]) -> None:
+        message = SystemMessage(
+            src_pid=self.pid, dst_pid=dst_pid, subkind=subkind, fields=fields
+        )
+        self.system.monitor.increment("system_messages")
+        self.system.monitor.increment(f"system_messages_{subkind}")
+        self.system.sim.trace.record(
+            self.system.sim.now, "sys_send", src=self.pid, dst=dst_pid, subkind=subkind
+        )
+        self.system.network.send_from_process(self.pid, message)
+
+    def broadcast_system(self, subkind: str, fields: Dict[str, Any]) -> int:
+        self.system.monitor.increment("broadcasts")
+        self.system.sim.trace.record(
+            self.system.sim.now, "sys_broadcast", src=self.pid, subkind=subkind
+        )
+        return self.system.network.broadcast_system(
+            self.pid,
+            lambda pid: SystemMessage(
+                src_pid=self.pid, dst_pid=pid, subkind=subkind, fields=dict(fields)
+            ),
+        )
+
+    def capture_state(self) -> Dict[str, Any]:
+        return self.process.capture_state()
+
+    def capture_vector_clock(self) -> Tuple[int, ...]:
+        return self.process.vc.snapshot()
+
+    def save_mutable(self, record: CheckpointRecord) -> None:
+        self.process.local_store.save(record)
+        self.system.monitor.increment("mutable_checkpoints")
+
+    def transfer_to_stable(
+        self, record: CheckpointRecord, on_saved: Callable[[], None]
+    ) -> None:
+        record.size_bytes = self.system.config.checkpoint_size_bytes
+        self.system.monitor.increment("stable_transfers")
+        host = self.process.host
+        if isinstance(host, MobileHost):
+            data = CheckpointDataMessage(
+                src_pid=self.pid,
+                dst_pid=None,
+                checkpoint_ref=record,
+                size_bytes=record.size_bytes,
+            )
+            data.on_stored = on_saved  # consumed by the MSS, see mss hook
+            host.transfer_checkpoint_data(data)
+        else:
+            # Process runs on an MSS: only the disk write is charged.
+            storage = self.system.stable_storage_for(self.pid)
+            storage.store(record)
+            delay = self.system.config.network.stable_write_time
+            self.system.sim.schedule(delay, on_saved)
+
+    def discard_mutable(self, record: CheckpointRecord) -> None:
+        self.process.local_store.remove(record)
+
+    def make_permanent(self, record: CheckpointRecord) -> None:
+        record.kind = CheckpointKind.PERMANENT
+        if self.system.protocol.gc_permanents:
+            storage = self.system.stable_storage_for(self.pid)
+            storage.garbage_collect(self.pid, keep_latest_permanent=1)
+
+    def discard_stable(self, record: CheckpointRecord) -> None:
+        storage = self.system.stable_storage_for(self.pid)
+        try:
+            storage.discard(record)
+        except StorageError:
+            # The transfer may still be in flight when an abort arrives;
+            # the MSS-side hook drops such records on arrival.
+            record.kind = CheckpointKind.MUTABLE  # poisoned: never store
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        self.system.sim.schedule(delay, fn)
+
+    def trace(self, kind: str, **fields: Any) -> None:
+        self.system.sim.trace.record(self.system.sim.now, kind, **fields)
+
+    def block_computation(self) -> None:
+        self.process.block()
+
+    def unblock_computation(self) -> None:
+        self.process.unblock()
+
+    @property
+    def mutable_save_time(self) -> float:
+        return self.system.config.network.mutable_save_time

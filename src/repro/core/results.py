@@ -1,0 +1,71 @@
+"""Run results and aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.metrics import InitiationStats
+from repro.analysis.stats import Summary, summarize
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one experiment run.
+
+    ``initiations`` excludes warmup initiations; aggregate properties are
+    computed over the measured ones only.
+    """
+
+    protocol: str
+    n_processes: int
+    seed: int
+    initiations: List[InitiationStats] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    total_blocked_time: float = 0.0
+    sim_time: float = 0.0
+    wall_events: int = 0
+
+    @property
+    def n_initiations(self) -> int:
+        return len(self.initiations)
+
+    def tentative_summary(self) -> Summary:
+        """Tentative checkpoints per initiation (Fig. 5/6 upper curves)."""
+        return summarize([s.tentative_count for s in self.initiations])
+
+    def redundant_mutable_summary(self) -> Summary:
+        """Redundant mutable checkpoints per initiation (lower curves)."""
+        return summarize([s.redundant_mutables for s in self.initiations])
+
+    def mutable_summary(self) -> Summary:
+        """All mutable checkpoints taken per initiation."""
+        return summarize([s.mutable_count for s in self.initiations])
+
+    def duration_summary(self) -> Summary:
+        """Checkpointing time per initiation (initiation -> commit)."""
+        return summarize([s.duration for s in self.initiations if s.duration is not None])
+
+    @property
+    def redundant_ratio(self) -> float:
+        """Redundant mutables as a fraction of tentatives (paper: < 4 %)."""
+        tentatives = sum(s.tentative_count for s in self.initiations)
+        if tentatives == 0:
+            return 0.0
+        redundant = sum(s.redundant_mutables for s in self.initiations)
+        return redundant / tentatives
+
+    def row(self) -> Dict[str, float]:
+        """A flat dict suitable for tabulation."""
+        return {
+            "initiations": self.n_initiations,
+            "tentative_mean": self.tentative_summary().mean,
+            "redundant_mutable_mean": self.redundant_mutable_summary().mean,
+            "mutable_mean": self.mutable_summary().mean,
+            "redundant_ratio": self.redundant_ratio,
+            "duration_mean": self.duration_summary().mean,
+            "system_messages": self.counters.get("system_messages", 0.0),
+            "broadcasts": self.counters.get("broadcasts", 0.0),
+            "computation_messages": self.counters.get("computation_messages", 0.0),
+            "blocked_time": self.total_blocked_time,
+        }

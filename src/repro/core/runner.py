@@ -1,0 +1,181 @@
+"""Experiment runner: schedules initiations and collects results.
+
+Reproduces the paper's experimental procedure (§5.1):
+
+* a checkpoint is scheduled at each process with a fixed interval
+  (900 s); the first one is staggered uniformly within one interval;
+* if a process takes a checkpoint earlier (because it was forced to by
+  someone else's initiation), its next initiation moves to one interval
+  after that checkpoint;
+* at most one checkpointing is in progress at a time (§3.3's
+  presentation assumption): initiations falling due while one is active
+  are deferred and fired right after the active one commits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.analysis.metrics import committed_stats
+from repro.checkpointing.types import Trigger
+from repro.core.config import RunConfig
+from repro.core.results import RunResult
+from repro.core.system import MobileSystem
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.workload.base import Workload
+
+#: retry delay when a process refuses to initiate (still finishing the
+#: previous checkpointing's commit wave)
+_RETRY_DELAY = 0.1
+
+
+class ExperimentRunner:
+    """Drives one simulation run to a target number of initiations."""
+
+    def __init__(
+        self,
+        system: MobileSystem,
+        workload: Workload,
+        run_config: RunConfig,
+        serialize_initiations: bool = True,
+    ) -> None:
+        self.system = system
+        self.workload = workload
+        self.run_config = run_config
+        self.serialize_initiations = serialize_initiations
+        self.committed: int = 0
+        self._busy = False
+        self._done = False
+        self._deferred: Deque[int] = deque()
+        # Centralized protocols (EJZ) only let a coordinator initiate.
+        if system.protocol.distributed:
+            initiators = list(system.processes)
+        else:
+            initiators = [getattr(system.protocol, "coordinator", 0)]
+        self._timers: Dict[int, Optional[Event]] = {pid: None for pid in initiators}
+        system.protocol.add_commit_listener(self._on_commit)
+        system.protocol.add_abort_listener(self._on_abort)
+        system.sim.trace.subscribe(self._on_trace)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule_first_initiations(self) -> None:
+        interval = self.system.config.checkpoint_interval
+        for pid in self._timers:
+            offset = self.system.streams.stream(f"runner.stagger.{pid}").uniform(
+                0.0, interval
+            )
+            self._arm_timer(pid, offset)
+
+    def _arm_timer(self, pid: int, delay: float) -> None:
+        if pid not in self._timers:
+            return
+        old = self._timers[pid]
+        if old is not None:
+            old.cancel()
+        self._timers[pid] = self.system.sim.schedule(delay, self._initiation_due, pid)
+
+    def _on_trace(self, record) -> None:
+        # Paper §5.1: a checkpoint taken early pushes the next scheduled
+        # initiation one full interval past it. This also supersedes a
+        # pending deferred initiation of the same process.
+        if record.kind == "tentative" and not self._done:
+            pid = record["pid"]
+            if pid in self._timers:
+                self._arm_timer(pid, self.system.config.checkpoint_interval)
+            try:
+                self._deferred.remove(pid)
+            except ValueError:
+                pass
+
+    def _initiation_due(self, pid: int) -> None:
+        self._timers[pid] = None
+        if self._done:
+            return
+        if self.serialize_initiations and self._busy:
+            if pid not in self._deferred:
+                self._deferred.append(pid)
+            return
+        self._try_initiate(pid)
+
+    def _try_initiate(self, pid: int) -> None:
+        if self._done:
+            return
+        # Set busy *before* calling initiate(): protocols that commit
+        # synchronously (uncoordinated local checkpoints) fire the commit
+        # listener inside initiate(), and that listener clears busy.
+        self._busy = True
+        started = self.system.protocol.processes[pid].initiate()
+        if not started:
+            self._busy = False
+            # Commit wave from the previous initiation has not reached
+            # this process yet; retry shortly.
+            self.system.sim.schedule(_RETRY_DELAY, self._try_initiate, pid)
+
+    # -- protocol callbacks ------------------------------------------------
+    def _on_commit(self, trigger: Trigger) -> None:
+        self.committed += 1
+        self._busy = False
+        if self.committed >= self.run_config.max_initiations:
+            self._finish()
+            return
+        self._arm_timer(trigger.pid, self.system.config.checkpoint_interval)
+        if self._deferred:
+            self._try_initiate(self._deferred.popleft())
+
+    def _on_abort(self, trigger: Trigger) -> None:
+        self._busy = False
+        self._arm_timer(trigger.pid, self.system.config.checkpoint_interval)
+        if self._deferred and not self._done:
+            self._try_initiate(self._deferred.popleft())
+
+    def _finish(self) -> None:
+        self._done = True
+        self.workload.stop()
+        for timer in self._timers.values():
+            if timer is not None:
+                timer.cancel()
+
+    # -- main loop ---------------------------------------------------------------
+    def run(self, max_events: Optional[int] = None) -> RunResult:
+        """Run to completion and return the collected results."""
+        sim = self.system.sim
+        self.workload.start()
+        self._schedule_first_initiations()
+        processed = 0
+        limit = self.run_config.time_limit
+        while not self._done:
+            if limit is not None and sim.now >= limit:
+                # Stop scheduling new work so post-run quiescence drains
+                # instead of running the experiment forever.
+                self._finish()
+                break
+            if not sim.step():
+                raise SimulationError(
+                    "event queue drained before reaching the initiation target"
+                )
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        # Let the final commit broadcast settle so every process's state
+        # (cp_state, discarded mutables) is final before measuring.
+        sim.run(until=sim.now + 1.0)
+        return self._collect()
+
+    def _collect(self) -> RunResult:
+        stats = committed_stats(self.system.sim.trace)
+        measured = stats[self.run_config.warmup_initiations :]
+        total_blocked = sum(
+            p.total_blocked_time for p in self.system.processes.values()
+        )
+        return RunResult(
+            protocol=self.system.protocol.name,
+            n_processes=self.system.config.n_processes,
+            seed=self.system.config.seed,
+            initiations=measured,
+            counters=self.system.monitor.counters(),
+            total_blocked_time=total_blocked,
+            sim_time=self.system.sim.now,
+            wall_events=self.system.sim.events_processed,
+        )

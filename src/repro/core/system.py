@@ -1,0 +1,152 @@
+"""System builder: wires kernel, network, storage, processes, protocol.
+
+:class:`MobileSystem` is the main entry point of the library::
+
+    from repro import MobileSystem, SystemConfig
+    from repro.checkpointing.mutable import MutableCheckpointProtocol
+
+    system = MobileSystem(SystemConfig(n_processes=16),
+                          MutableCheckpointProtocol())
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.checkpointing.protocol import CheckpointProtocol
+from repro.checkpointing.storage import StableStorage
+from repro.checkpointing.types import CheckpointKind, CheckpointRecord
+from repro.core.config import SystemConfig
+from repro.core.process import AppProcess
+from repro.errors import ConfigurationError
+from repro.net.message import ComputationMessage
+from repro.net.mh import MobileHost
+from repro.net.mss import MobileSupportStation
+from repro.net.network import MobileNetwork
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import Monitor
+from repro.sim.rng import RandomStreams
+
+DeliverHook = Callable[[AppProcess, ComputationMessage], None]
+
+
+class MobileSystem:
+    """A fully wired simulated mobile computing system.
+
+    Construction builds the topology (``n_mss`` cells, one MH per
+    process round-robin across cells), attaches the protocol to every
+    process, and stores an initial permanent checkpoint (csn 0) for each
+    process so a recovery line exists from time zero.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        protocol: CheckpointProtocol,
+    ) -> None:
+        self.config = config
+        self.protocol = protocol
+        self.sim = Simulator()
+        self.sim.trace.enabled = True
+        self.streams = RandomStreams(config.seed)
+        self.monitor = Monitor()
+        self.network = MobileNetwork(self.sim, config.network)
+        self._deliver_hooks: List[DeliverHook] = []
+        self._send_hooks: List[DeliverHook] = []
+
+        self.mss_list: List[MobileSupportStation] = []
+        for i in range(config.n_mss):
+            mss = self.network.add_mss(f"mss{i}")
+            mss.stable_storage = StableStorage(name=f"stable-{mss.name}")
+            self.mss_list.append(mss)
+
+        self.mhs: List[MobileHost] = []
+        self.processes: Dict[int, AppProcess] = {}
+        for pid in range(config.n_processes):
+            mss = self.mss_list[pid % config.n_mss]
+            if pid < config.processes_on_mss:
+                # Static process: runs directly on the support station
+                # (§2.1 allows both; its checkpoints skip the wireless hop).
+                self.processes[pid] = AppProcess(self, pid, mss)
+            else:
+                mh = self.network.add_mh(mss, name=f"mh{pid}")
+                self.mhs.append(mh)
+                self.processes[pid] = AppProcess(self, pid, mh)
+
+        for pid, process in self.processes.items():
+            initial = CheckpointRecord(
+                pid=pid,
+                csn=0,
+                kind=CheckpointKind.PERMANENT,
+                time_taken=0.0,
+                state=process.capture_state(),
+                trigger=None,
+                vector_clock=process.vc.snapshot(),
+                size_bytes=config.checkpoint_size_bytes,
+            )
+            self.stable_storage_for(pid).store(initial)
+            self.sim.trace.record(0.0, "permanent", pid=pid, trigger=None, ckpt_id=initial.ckpt_id)
+
+    # -- lookups ---------------------------------------------------------
+    def process(self, pid: int) -> AppProcess:
+        """The application process with id ``pid``."""
+        try:
+            return self.processes[pid]
+        except KeyError:
+            raise ConfigurationError(f"no process with pid {pid}") from None
+
+    def mss_for(self, pid: int) -> MobileSupportStation:
+        """The MSS currently serving ``pid``'s host."""
+        host = self.network.host_of_process(pid)
+        return self.network.mss_serving(host)
+
+    def stable_storage_for(self, pid: int) -> StableStorage:
+        """The stable storage where ``pid``'s checkpoints land.
+
+        With a single cell this is unambiguous; with mobility a process's
+        checkpoints may be spread over several MSSs, so recovery-oriented
+        callers should use :meth:`all_stable_storages` instead.
+        """
+        try:
+            mss = self.mss_for(pid)
+        except Exception:
+            mss = self.mss_list[0]
+        assert mss.stable_storage is not None
+        return mss.stable_storage
+
+    def all_stable_storages(self) -> List[StableStorage]:
+        """Every stable storage in the system."""
+        return [mss.stable_storage for mss in self.mss_list if mss.stable_storage]
+
+    # -- workload integration ---------------------------------------------
+    def add_deliver_hook(self, hook: DeliverHook) -> None:
+        """Register a callback invoked on every application delivery."""
+        self._deliver_hooks.append(hook)
+
+    def add_send_hook(self, hook: DeliverHook) -> None:
+        """Register a callback invoked on every application send."""
+        self._send_hooks.append(hook)
+
+    def workload_send(self, process: AppProcess, message: ComputationMessage) -> None:
+        """Called by the process runtime when the app sends a message."""
+        for hook in self._send_hooks:
+            hook(process, message)
+
+    def workload_deliver(self, process: AppProcess, message: ComputationMessage) -> None:
+        """Called by the process runtime when a message reaches the app."""
+        for hook in self._deliver_hooks:
+            hook(process, message)
+
+    # -- convenience -------------------------------------------------------------
+    def run_until_quiescent(self, extra_time: float = 0.0, max_events: Optional[int] = None) -> None:
+        """Drain the event queue (plus ``extra_time`` margin)."""
+        self.sim.run_until_idle(max_events=max_events)
+        if extra_time:
+            self.sim.run(until=self.sim.now + extra_time, max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MobileSystem n={self.config.n_processes} cells={self.config.n_mss} "
+            f"protocol={self.protocol.name}>"
+        )

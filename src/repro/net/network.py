@@ -1,0 +1,188 @@
+"""The mobile network: topology, location management, and routing.
+
+:class:`MobileNetwork` owns every host and the wired backbone. Routing a
+process-to-process message follows the paper's model:
+
+* process on MH  -> wireless uplink to its MSS
+* MSS -> (if destination elsewhere) wired FIFO link to the destination MSS
+* destination MSS -> wireless downlink to the destination MH
+
+Location management is a directory at the network layer (`pid -> host`,
+`MH -> MSS`), updated synchronously at handoff; the directory abstracts
+the Mobile-IP-style protocols the paper cites ([2], [26], [33]) whose
+details are orthogonal to checkpointing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, UnknownHostError
+from repro.net.channel import FifoChannel
+from repro.net.message import Message, SystemMessage
+from repro.net.mh import MobileHost
+from repro.net.mss import MobileSupportStation
+from repro.net.node import Host
+from repro.net.params import NetworkParams
+from repro.sim.kernel import Simulator
+
+
+class MobileNetwork:
+    """Topology container, location directory, and router."""
+
+    def __init__(self, sim: Simulator, params: Optional[NetworkParams] = None) -> None:
+        self.sim = sim
+        self.params = params if params is not None else NetworkParams()
+        self.mss_list: List[MobileSupportStation] = []
+        self.mh_list: List[MobileHost] = []
+        self._host_of_pid: Dict[int, Host] = {}
+        self._mss_of_mh: Dict[str, MobileSupportStation] = {}
+        self._wired: Dict[Tuple[str, str], FifoChannel] = {}
+        #: total system-wide counters, used by the cost accounting
+        self.wired_messages = 0
+        self.wireless_messages = 0
+
+    # -- topology construction ------------------------------------------------
+    def add_mss(self, name: Optional[str] = None) -> MobileSupportStation:
+        """Create a new support station on the backbone."""
+        mss = MobileSupportStation(self, name or f"mss{len(self.mss_list)}")
+        self.mss_list.append(mss)
+        return mss
+
+    def add_mh(self, mss: MobileSupportStation, name: Optional[str] = None) -> MobileHost:
+        """Create a new mobile host attached to ``mss``."""
+        mh = MobileHost(self, name or f"mh{len(self.mh_list)}")
+        self.mh_list.append(mh)
+        mh.attach_to(mss)
+        return mh
+
+    # -- directory --------------------------------------------------------------
+    def register_process(self, pid: int, host: Host) -> None:
+        """Record (or update, after migration) where ``pid`` runs."""
+        self._host_of_pid[pid] = host
+
+    def host_of_process(self, pid: int) -> Host:
+        """The host ``pid`` currently runs on."""
+        try:
+            return self._host_of_pid[pid]
+        except KeyError:
+            raise UnknownHostError(f"no host registered for pid {pid}") from None
+
+    def mh_of_process(self, pid: int) -> Optional[MobileHost]:
+        """The MH hosting ``pid``, or None if it runs on an MSS."""
+        host = self._host_of_pid.get(pid)
+        return host if isinstance(host, MobileHost) else None
+
+    def mss_serving(self, host: Host) -> MobileSupportStation:
+        """The MSS responsible for ``host`` (itself if it is an MSS)."""
+        if isinstance(host, MobileSupportStation):
+            return host
+        assert isinstance(host, MobileHost)
+        mss = self._mss_of_mh.get(host.name)
+        if mss is None:
+            raise UnknownHostError(f"{host.name} has no serving MSS (disconnected?)")
+        return mss
+
+    def note_mh_location(self, mh: MobileHost, mss: MobileSupportStation) -> None:
+        """Directory update on attach/handoff."""
+        self._mss_of_mh[mh.name] = mss
+
+    def forget_mh_location(self, mh: MobileHost) -> None:
+        """Directory removal on disconnect without reattachment."""
+        self._mss_of_mh.pop(mh.name, None)
+
+    # -- wired backbone -----------------------------------------------------------
+    def wired_channel(
+        self, src: MobileSupportStation, dst: MobileSupportStation
+    ) -> FifoChannel:
+        """The FIFO backbone link ``src -> dst`` (created lazily)."""
+        if src is dst:
+            raise ConfigurationError("no wired channel from an MSS to itself")
+        key = (src.name, dst.name)
+        channel = self._wired.get(key)
+        if channel is None:
+            channel = FifoChannel(
+                self.sim,
+                self.params.wired_bandwidth_bps,
+                self.params.wired_latency,
+                dst.on_wired_arrival,
+                name=f"{src.name}=>{dst.name}",
+                contention=self.params.model_contention,
+            )
+            self._wired[key] = channel
+        return channel
+
+    # -- routing ---------------------------------------------------------------------
+    def route_from_mss(self, mss: MobileSupportStation, message: Message) -> None:
+        """Route ``message`` onward from ``mss``.
+
+        Called when an MSS originates a message, receives one on the
+        uplink, or receives one from the backbone.
+        """
+        dst_host = self.host_of_process(message.dst_pid)
+        # Where must the message go next? The MSS serving the
+        # destination. A disconnected MH has no serving MSS; its traffic
+        # is absorbed by the MSS holding its disconnect record.
+        if isinstance(dst_host, MobileHost) and dst_host.name not in self._mss_of_mh:
+            holder = self._find_disconnect_holder(dst_host)
+            if holder is None:
+                raise UnknownHostError(
+                    f"pid {message.dst_pid} on {dst_host.name} is unreachable"
+                )
+            if holder is mss:
+                mss.deliver_local(message)
+            else:
+                self.wired_messages += 1
+                self.wired_channel(mss, holder).send(message)
+            return
+        serving = self.mss_serving(dst_host)
+        if serving is mss:
+            mss.deliver_local(message)
+        else:
+            self.wired_messages += 1
+            self.wired_channel(mss, serving).send(message)
+
+    def send_from_process(self, src_pid: int, message: Message) -> None:
+        """Entry point used by process runtimes to send ``message``."""
+        host = self.host_of_process(src_pid)
+        if isinstance(host, MobileHost):
+            self.wireless_messages += 1
+        host.send(message)
+
+    def _find_disconnect_holder(
+        self, mh: MobileHost
+    ) -> Optional[MobileSupportStation]:
+        for mss in self.mss_list:
+            if mss.disconnect_record_for(mh.name) is not None:
+                return mss
+        return None
+
+    # -- broadcast ----------------------------------------------------------------------
+    def broadcast_system(
+        self,
+        src_pid: int,
+        make_message: Callable[[int], SystemMessage],
+        include_self: bool = False,
+    ) -> int:
+        """Broadcast a system message to every process in the system.
+
+        ``make_message(pid)`` builds the per-destination copy (broadcast
+        flag set by this method). Returns the number of copies sent.
+        Physically this is modelled as unicast fan-out, which upper
+        layers may account as a single ``C_broad`` (see
+        :mod:`repro.analysis.comparison`).
+        """
+        sent = 0
+        for pid in sorted(self._host_of_pid):
+            if pid == src_pid and not include_self:
+                continue
+            message = make_message(pid)
+            message.broadcast = True
+            self.send_from_process(src_pid, message)
+            sent += 1
+        return sent
+
+    @property
+    def process_ids(self) -> Tuple[int, ...]:
+        """All registered process ids, sorted."""
+        return tuple(sorted(self._host_of_pid))

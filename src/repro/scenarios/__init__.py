@@ -1,0 +1,26 @@
+"""Deterministic scenario engine and figure reproductions."""
+
+from repro.scenarios.figures import (
+    FigureResult,
+    all_figures,
+    figure1,
+    figure2,
+    figure2_with_mutable,
+    figure3,
+    figure4,
+)
+from repro.scenarios.harness import InFlight, ScenarioHarness
+from repro.scenarios.naive import NaiveProtocol
+
+__all__ = [
+    "FigureResult",
+    "InFlight",
+    "NaiveProtocol",
+    "ScenarioHarness",
+    "all_figures",
+    "figure1",
+    "figure2",
+    "figure2_with_mutable",
+    "figure3",
+    "figure4",
+]

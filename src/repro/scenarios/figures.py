@@ -1,0 +1,210 @@
+"""Deterministic reproductions of the paper's Figs. 1–4.
+
+Each ``figureN`` function builds the exact message pattern of the figure
+on the :class:`~repro.scenarios.harness.ScenarioHarness` and returns a
+:class:`FigureResult` with the facts the figure is meant to demonstrate.
+The test suite asserts those facts; the scenario bench re-runs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.checkpointing.simple_schemes import NoMutableVariantProtocol
+from repro.scenarios.harness import ScenarioHarness
+from repro.scenarios.naive import NaiveProtocol
+
+
+@dataclass
+class FigureResult:
+    """Outcome of one figure scenario."""
+
+    figure: str
+    consistent: bool
+    orphan_msg_ids: List[int] = field(default_factory=list)
+    tentative_counts: Dict[str, int] = field(default_factory=dict)
+    mutable_taken: int = 0
+    mutable_promoted: int = 0
+    mutable_discarded: int = 0
+    notes: str = ""
+
+
+def _counts(harness: ScenarioHarness) -> Dict[str, int]:
+    return {
+        "tentative": harness.trace.count("tentative"),
+        "mutable": harness.trace.count("mutable"),
+        "promoted": harness.trace.count("mutable_promoted"),
+        "discarded": harness.trace.count("mutable_discarded"),
+    }
+
+
+def figure1() -> FigureResult:
+    """Fig. 1: naive nonblocking coordination creates an orphan.
+
+    P2 initiates; P1 checkpoints on request and then sends m1 to P3; P3
+    receives m1 *before* its own request arrives, so m1's receive is
+    recorded but its send is not.
+    """
+    p1, p2, p3 = 0, 1, 2
+    h = ScenarioHarness(3, NaiveProtocol())
+    # Dependencies: P2 received from both P1 and P3.
+    h.deliver(h.send(p1, p2))
+    h.deliver(h.send(p3, p2))
+    h.initiate(p2)
+    req_p1, req_p3 = h.pending_system("request")
+    assert req_p1.dst == p1 and req_p3.dst == p3
+    h.deliver(req_p1)              # P1 checkpoints...
+    m1 = h.send(p1, p3)            # ...then sends m1
+    h.deliver(m1)                  # P3 processes m1 first
+    h.deliver(req_p3)              # and only now checkpoints
+    h.deliver_all_system()
+    orphans = h.find_orphans()
+    return FigureResult(
+        figure="fig1",
+        consistent=h.is_consistent(),
+        orphan_msg_ids=[o.msg_id for o in orphans],
+        tentative_counts=_counts(h),
+        notes="m1 must be an orphan",
+    )
+
+
+def _figure2_script(h: ScenarioHarness) -> None:
+    """The §2.4 impossibility pattern, shared by both protocol variants.
+
+    Chain of dependencies P1 <- P4 <- P5 <- P2; P1 initiates and sends
+    m5 to P2, which arrives before the request that is still crawling
+    down the chain.
+    """
+    p1, p2, p3, p4, p5 = 0, 1, 2, 3, 4
+    # Dependencies: P1 received from P3 and P4; P4 from P5; P5 from P2 (m3).
+    h.deliver(h.send(p3, p1))
+    h.deliver(h.send(p4, p1))
+    h.deliver(h.send(p5, p4))
+    h.deliver(h.send(p2, p5))      # m3: creates the z-dependency path
+    h.initiate(p1)
+    requests = {f.dst: f for f in h.pending_system("request")}
+    h.deliver(requests[p4])        # P4 checkpoints, requests P5
+    req_p5 = next(f for f in h.pending_system("request") if f.dst == p5)
+    h.deliver(req_p5)              # P5 checkpoints, requests P2
+    m5 = h.send(p1, p2)            # m5 sent after C_{1,1}
+    h.deliver(m5)                  # ...and received BEFORE P2's request
+    req_p2 = next(f for f in h.pending_system("request") if f.dst == p2)
+    h.deliver(req_p2)
+    h.deliver(requests[p3])
+    h.deliver_all_system()
+
+
+def figure2() -> FigureResult:
+    """Fig. 2 run with the broken no-mutable variant: m5 orphans."""
+    h = ScenarioHarness(5, NoMutableVariantProtocol())
+    _figure2_script(h)
+    orphans = h.find_orphans()
+    return FigureResult(
+        figure="fig2-no-mutable",
+        consistent=h.is_consistent(),
+        orphan_msg_ids=[o.msg_id for o in orphans],
+        tentative_counts=_counts(h),
+        notes="without mutable checkpoints, m5 must be an orphan",
+    )
+
+
+def figure2_with_mutable() -> FigureResult:
+    """Fig. 2 run with the paper's algorithm: the mutable checkpoint at
+    P2 absorbs the impossibility and is later promoted."""
+    h = ScenarioHarness(5, MutableCheckpointProtocol())
+    _figure2_script(h)
+    counts = _counts(h)
+    return FigureResult(
+        figure="fig2-mutable",
+        consistent=h.is_consistent(),
+        orphan_msg_ids=[o.msg_id for o in h.find_orphans()],
+        tentative_counts=counts,
+        mutable_taken=counts["mutable"],
+        mutable_promoted=counts["promoted"],
+        mutable_discarded=counts["discarded"],
+        notes="P2's mutable checkpoint is promoted; no orphan",
+    )
+
+
+def figure3() -> FigureResult:
+    """Fig. 3 / §3.4: the worked example of the full algorithm.
+
+    P2's initiation promotes the mutable checkpoints C_{1,1} (at P1) and
+    C_{3,1} (at P3); P0's overlapping initiation leaves C_{1,2} at P1,
+    discarded as redundant when P0's checkpointing commits.
+    """
+    p0, p1, p2, p3, p4 = 0, 1, 2, 3, 4
+    h = ScenarioHarness(5, MutableCheckpointProtocol())
+    # Dependencies of P2 on P1, P3, P4; of P0 on P4.
+    h.deliver(h.send(p1, p2))
+    h.deliver(h.send(p3, p2))
+    h.deliver(h.send(p4, p2))
+    h.deliver(h.send(p4, p0))
+    # P0 initiates; its request to P4 stays in flight, so P0's
+    # checkpointing is unfinished when it later sends m1.
+    h.initiate(p0)
+    req_p0_to_p4 = next(f for f in h.pending_system("request") if f.dst == p4)
+    # P2 initiates and its request reaches P4 first.
+    h.initiate(p2)
+    p2_requests = {
+        f.dst: f
+        for f in h.pending_system("request")
+        if f is not req_p0_to_p4
+    }
+    h.deliver(p2_requests[p4])     # P4 takes its tentative for P2's trigger
+    m3 = h.send(p4, p3)            # tagged with P2's trigger
+    h.deliver(m3)                  # P3 takes mutable C_{3,1}
+    m2 = h.send(p3, p1)            # tagged (P3 is now in cp_state)
+    h.deliver(m2)                  # P1 takes mutable C_{1,1}
+    m4 = h.send(p1, p3)            # m4: P1 sends in its new interval
+    m1 = h.send(p0, p1)            # tagged with P0's trigger
+    h.deliver(m1)                  # P1 takes mutable C_{1,2}
+    h.deliver(p2_requests[p1])     # C_{1,1} promoted to tentative
+    h.deliver(p2_requests[p3])     # C_{3,1} promoted to tentative
+    h.deliver(req_p0_to_p4)        # P4 skips (old_csn > req_csn)
+    h.deliver(m4)
+    h.deliver_everything()         # replies, commits; C_{1,2} discarded
+    counts = _counts(h)
+    return FigureResult(
+        figure="fig3",
+        consistent=h.is_consistent(),
+        orphan_msg_ids=[o.msg_id for o in h.find_orphans()],
+        tentative_counts=counts,
+        mutable_taken=counts["mutable"],
+        mutable_promoted=counts["promoted"],
+        mutable_discarded=counts["discarded"],
+        notes="C_{1,1}, C_{3,1} promoted; C_{1,2} redundant",
+    )
+
+
+def figure4() -> FigureResult:
+    """Fig. 4 / §3.1.3: a stale request (req_csn behind the target's
+    current stable checkpoint) is ignored, saving C_{2,2} and C_{1,2}."""
+    p1, p2, p3 = 0, 1, 2
+    h = ScenarioHarness(3, MutableCheckpointProtocol())
+    h.deliver(h.send(p1, p2))      # m2: P2 depends on P1
+    h.deliver(h.send(p2, p3))      # m1: P3 depends on P2 (csn still 0)
+    # First initiation: P2 takes C_{2,1}, forcing C_{1,1} at P1.
+    h.initiate(p2)
+    h.deliver_all_system()
+    before = h.trace.count("tentative")
+    # Second initiation: P3's request to P2 carries req_csn = 0 < old_csn.
+    h.initiate(p3)
+    h.deliver_all_system()
+    after = h.trace.count("tentative")
+    counts = _counts(h)
+    counts["second_initiation_tentatives"] = after - before
+    return FigureResult(
+        figure="fig4",
+        consistent=h.is_consistent(),
+        orphan_msg_ids=[o.msg_id for o in h.find_orphans()],
+        tentative_counts=counts,
+        notes="P2 ignores P3's stale request; only P3 checkpoints",
+    )
+
+
+def all_figures() -> List[FigureResult]:
+    """Run every figure scenario."""
+    return [figure1(), figure2(), figure2_with_mutable(), figure3(), figure4()]

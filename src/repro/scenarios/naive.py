@@ -1,0 +1,109 @@
+"""The strawman protocol of Fig. 1: coordinated checkpointing with *no*
+protection against in-flight computation messages.
+
+The initiator requests its direct dependencies; every requested process
+takes a checkpoint whenever the request arrives, regardless of what it
+received in between. Works only if no computation message crosses the
+checkpointing — exactly the failure Fig. 1 illustrates (message m1
+becomes an orphan when P3 receives it before the request).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.checkpointing.protocol import CheckpointProtocol, ProcessEnv, ProtocolProcess
+from repro.checkpointing.types import CheckpointKind, CheckpointRecord, Trigger
+from repro.errors import ProtocolError
+from repro.net.message import ComputationMessage, SystemMessage
+
+
+class NaiveProcess(ProtocolProcess):
+    """Checkpoint-on-request, no csn, no mutable checkpoints."""
+
+    def __init__(self, env: ProcessEnv, protocol: "NaiveProtocol") -> None:
+        super().__init__(env)
+        self.protocol = protocol
+        self.r: List[bool] = [False] * self.n
+        self.csn = 0
+        self._pending: Dict[Trigger, CheckpointRecord] = {}
+        self._awaiting: Set[int] = set()
+        self._active: Optional[Trigger] = None
+
+    def on_send_computation(self, message: ComputationMessage) -> None:
+        pass  # nothing piggybacked — that is the point
+
+    def on_receive_computation(self, message, deliver: Callable[[], None]) -> None:
+        self.r[message.src_pid] = True
+        deliver()
+
+    def initiate(self) -> bool:
+        if self._active is not None:
+            return False
+        self.csn += 1
+        trigger = Trigger(self.pid, self.csn)
+        self._active = trigger
+        self.env.trace("initiation", pid=self.pid, trigger=trigger)
+        self._take_checkpoint(trigger)
+        self._awaiting = {k for k in range(self.n) if k != self.pid and self.r[k]}
+        for k in sorted(self._awaiting):
+            self.env.send_system(k, "request", {"trigger": trigger})
+        self.r = [False] * self.n
+        if not self._awaiting:
+            self._commit(trigger)
+        return True
+
+    def _take_checkpoint(self, trigger: Trigger) -> None:
+        record = self.make_checkpoint(self.csn, CheckpointKind.TENTATIVE, trigger)
+        self._pending[trigger] = record
+        self.env.trace(
+            "tentative", pid=self.pid, trigger=trigger, csn=self.csn, ckpt_id=record.ckpt_id
+        )
+        self.env.transfer_to_stable(record, lambda: None)
+
+    def on_system_message(self, message: SystemMessage) -> None:
+        fields = message.fields
+        trigger: Trigger = fields["trigger"]
+        if message.subkind == "request":
+            self.csn += 1
+            self._take_checkpoint(trigger)
+            self.r = [False] * self.n
+            self.env.send_system(
+                trigger.pid, "reply", {"trigger": trigger, "from_pid": self.pid}
+            )
+        elif message.subkind == "reply":
+            if trigger != self._active:
+                return
+            self._awaiting.discard(fields["from_pid"])
+            if not self._awaiting:
+                self._commit(trigger)
+        elif message.subkind == "commit":
+            self._apply_commit(trigger)
+        else:
+            raise ProtocolError(f"unknown subkind {message.subkind!r}")
+
+    def _commit(self, trigger: Trigger) -> None:
+        self._active = None
+        self.env.trace("commit", trigger=trigger)
+        self.env.broadcast_system("commit", {"trigger": trigger})
+        self._apply_commit(trigger)
+        self.protocol.notify_commit(trigger)
+
+    def _apply_commit(self, trigger: Trigger) -> None:
+        record = self._pending.pop(trigger, None)
+        if record is not None:
+            self.env.make_permanent(record)
+            self.env.trace(
+                "permanent", pid=self.pid, trigger=trigger, ckpt_id=record.ckpt_id
+            )
+
+
+class NaiveProtocol(CheckpointProtocol):
+    """Fig. 1's broken strawman."""
+
+    name = "naive"
+    blocking = False
+    distributed = True
+
+    def _build_process(self, env: ProcessEnv) -> NaiveProcess:
+        return NaiveProcess(env, self)

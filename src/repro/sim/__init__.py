@@ -1,0 +1,27 @@
+"""Deterministic discrete-event simulation kernel.
+
+Public surface:
+
+* :class:`~repro.sim.kernel.Simulator` — the event loop.
+* :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.Timer`.
+* :class:`~repro.sim.rng.RandomStreams` — named seeded randomness.
+* :class:`~repro.sim.trace.TraceLog` — structured ground-truth log.
+* :class:`~repro.sim.monitor.Monitor` — counters and tallies.
+"""
+
+from repro.sim.events import Event, Timer
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import Monitor, Tally
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "Event",
+    "Monitor",
+    "RandomStreams",
+    "Simulator",
+    "Tally",
+    "Timer",
+    "TraceLog",
+    "TraceRecord",
+]

@@ -1,0 +1,100 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` is a callback scheduled to fire at a simulated time.
+Events are totally ordered by ``(time, seq)`` where ``seq`` is a
+monotonically increasing insertion counter; the tie-break makes runs
+deterministic regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`repro.sim.kernel.Simulator.schedule`;
+    user code should treat them as opaque handles, using only
+    :meth:`cancel` and :attr:`cancelled`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this event."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Cancelling an event that already fired or was already cancelled is
+        a no-op; the kernel lazily discards cancelled events when they
+        reach the head of the queue.
+        """
+        self._cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self._cancelled else ""
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time:.6f} seq={self.seq} {name}{state}>"
+
+
+class Timer:
+    """A restartable one-shot timer built on kernel events.
+
+    Wraps the schedule/cancel dance needed for timeouts: :meth:`restart`
+    cancels any pending expiry and schedules a new one.
+    """
+
+    def __init__(self, sim: "Simulator", callback: Callable[[], Any]) -> None:  # noqa: F821
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def pending(self) -> bool:
+        """Whether the timer is armed and has not yet fired."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """Arm the timer to fire ``delay`` simulated seconds from now.
+
+        Raises if the timer is already pending; use :meth:`restart` to
+        rearm unconditionally.
+        """
+        if self.pending:
+            raise RuntimeError("timer already pending; use restart()")
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def restart(self, delay: float) -> None:
+        """Cancel any pending expiry and arm the timer afresh."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer if pending."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

@@ -1,0 +1,95 @@
+"""Trace export / import as JSON lines.
+
+A run's trace log is its ground truth; exporting it lets experiments be
+archived, diffed across code versions, and re-verified offline (the
+consistency and minimality checkers run on imported traces unchanged).
+
+Triggers and checkpoint kinds are encoded as tagged objects so a round
+trip preserves the types the checkers rely on.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import IO, Any, Iterable, Union
+
+from repro.checkpointing.types import Trigger
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, Trigger):
+        return {"__trigger__": [value.pid, value.inum]}
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_value(v) for v in value]}
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": sorted(_encode_value(v) for v in value)}
+    if isinstance(value, dict):
+        return {str(k): _encode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_encode_value(v) for v in value]
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__trigger__" in value:
+            pid, inum = value["__trigger__"]
+            return Trigger(pid, inum)
+        if "__tuple__" in value:
+            return tuple(_decode_value(v) for v in value["__tuple__"])
+        if "__set__" in value:
+            return set(_decode_value(v) for v in value["__set__"])
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def dump_trace(trace: Iterable[TraceRecord], stream: IO[str]) -> int:
+    """Write the trace as JSON lines; returns the record count."""
+    count = 0
+    for record in trace:
+        line = {
+            "t": record.time,
+            "k": record.kind,
+            "f": {key: _encode_value(val) for key, val in record.fields.items()},
+        }
+        stream.write(json.dumps(line, separators=(",", ":")) + "\n")
+        count += 1
+    return count
+
+
+def dumps_trace(trace: Iterable[TraceRecord]) -> str:
+    """The trace as one JSON-lines string."""
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    return buffer.getvalue()
+
+
+def load_trace(stream: Union[IO[str], str]) -> TraceLog:
+    """Read a JSON-lines trace back into a :class:`TraceLog`."""
+    if isinstance(stream, str):
+        stream = io.StringIO(stream)
+    log = TraceLog()
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        fields = {key: _decode_value(val) for key, val in data["f"].items()}
+        log.record(data["t"], data["k"], **fields)
+    return log
+
+
+def save_trace(trace: Iterable[TraceRecord], path: str) -> int:
+    """Write the trace to a file; returns the record count."""
+    with open(path, "w", encoding="utf-8") as handle:
+        return dump_trace(trace, handle)
+
+
+def read_trace(path: str) -> TraceLog:
+    """Read a trace file back into a :class:`TraceLog`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_trace(handle)

@@ -1,0 +1,154 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns a virtual clock and a priority queue of
+:class:`~repro.sim.events.Event` objects. Running the simulator pops
+events in ``(time, insertion-order)`` order and invokes their callbacks.
+Everything in the reproduction — channels, hosts, protocols, workloads —
+is driven by this single queue, which makes every run deterministic and
+replayable for a given seed.
+
+The kernel deliberately has no notion of "process" in the simpy sense:
+entities are plain objects that schedule callbacks. This keeps the event
+loop easy to reason about and trivially deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, List, Optional
+
+from repro.errors import ScheduleInPastError, SimulationError
+from repro.sim.events import Event, Timer
+from repro.sim.trace import TraceLog
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`~repro.sim.trace.TraceLog` that entities may use
+        to record structured events. The kernel itself does not write to
+        it; it is carried here so every entity can reach it through the
+        simulator it already holds.
+    """
+
+    def __init__(self, trace: Optional[TraceLog] = None) -> None:
+        self._queue: List[Event] = []
+        self._seq = count()
+        self._now: float = 0.0
+        self._events_processed: int = 0
+        self._running = False
+        self.trace: TraceLog = trace if trace is not None else TraceLog()
+
+    @property
+    def now(self) -> float:
+        """The current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events whose callbacks have been invoked."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events in the queue, including cancelled ones."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns an :class:`Event` handle that may be cancelled. A zero
+        delay is allowed and fires after all previously scheduled events
+        at the current instant (FIFO within a timestamp).
+        """
+        if delay < 0:
+            raise ScheduleInPastError(self._now, self._now + delay)
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, when: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise ScheduleInPastError(self._now, when)
+        event = Event(when, next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def timer(self, callback: Callable[[], Any]) -> Timer:
+        """Create a restartable :class:`~repro.sim.events.Timer`."""
+        return Timer(self, callback)
+
+    def step(self) -> bool:
+        """Process the next non-cancelled event.
+
+        Returns ``False`` when the queue is exhausted, ``True`` otherwise.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time. Events scheduled at
+            exactly ``until`` are processed; the clock ends at ``until``
+            even if the queue drained earlier, so periodic measurements
+            spanning the full horizon are well defined.
+        max_events:
+            Safety valve: raise :class:`SimulationError` if more than this
+            many events are processed (catches runaway feedback loops in
+            protocol code).
+        """
+        if self._running:
+            raise SimulationError("run() called reentrantly")
+        self._running = True
+        processed_at_start = self._events_processed
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if (
+                    max_events is not None
+                    and self._events_processed - processed_at_start >= max_events
+                ):
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway simulation?)"
+                    )
+                heapq.heappop(self._queue)
+                self._now = head.time
+                self._events_processed += 1
+                head.callback(*head.args)
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue is completely drained."""
+        self.run(until=None, max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator t={self._now:.6f} pending={self.pending_events} "
+            f"processed={self._events_processed}>"
+        )

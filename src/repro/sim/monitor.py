@@ -1,0 +1,126 @@
+"""Metric collection: counters, tallies, and time series.
+
+A :class:`Monitor` is a bag of named metrics that entities update as the
+simulation runs. It is intentionally dumber than the trace log — metrics
+are for cheap aggregate accounting (counts, sums, sampled series), while
+the trace is for event-level verification.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+
+class Tally:
+    """Streaming mean/variance/min/max over observed samples (Welford)."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Add one sample."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Tally n={self.count} mean={self.mean:.4f} sd={self.stdev:.4f}>"
+
+
+class Monitor:
+    """Named counters, tallies, and time series for one simulation run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+        self._tallies: Dict[str, Tally] = defaultdict(Tally)
+        self._series: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+
+    # -- counters ---------------------------------------------------------
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self._counters[name] += amount
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0.0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def counters(self) -> Dict[str, float]:
+        """A snapshot copy of all counters."""
+        return dict(self._counters)
+
+    # -- tallies ----------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into tally ``name``."""
+        self._tallies[name].observe(value)
+
+    def tally(self, name: str) -> Tally:
+        """The tally for ``name`` (empty if never observed)."""
+        return self._tallies[name]
+
+    def tallies(self) -> Dict[str, Tally]:
+        """A snapshot copy of all tallies."""
+        return dict(self._tallies)
+
+    # -- time series ------------------------------------------------------
+    def sample(self, name: str, time: float, value: float) -> None:
+        """Append ``(time, value)`` to series ``name``."""
+        self._series[name].append((time, value))
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        """The list of samples for series ``name`` (empty if absent)."""
+        return list(self._series.get(name, ()))
+
+    def merge(self, other: "Monitor") -> None:
+        """Fold another monitor's counters and tallies into this one.
+
+        Series are concatenated. Used when aggregating per-host monitors
+        into a run-level monitor.
+        """
+        for name, value in other._counters.items():
+            self._counters[name] += value
+        for name, tally in other._tallies.items():
+            mine = self._tallies[name]
+            # Merge by replaying summary statistics via Chan et al.'s
+            # parallel-variance formula.
+            if tally.count == 0:
+                continue
+            combined = mine.count + tally.count
+            delta = tally.mean - mine.mean
+            new_mean = mine.mean + delta * tally.count / combined
+            mine._m2 = mine._m2 + tally._m2 + delta * delta * mine.count * tally.count / combined
+            mine._mean = new_mean
+            mine.count = combined
+            mine.minimum = min(mine.minimum, tally.minimum)
+            mine.maximum = max(mine.maximum, tally.maximum)
+        for name, samples in other._series.items():
+            self._series[name].extend(samples)

@@ -1,0 +1,59 @@
+"""Seeded, named random-number streams.
+
+Different parts of a simulation (workload at each process, mobility,
+failure injection) draw from *independent* named streams derived from a
+single master seed. Adding a new consumer of randomness therefore never
+perturbs the draws seen by existing consumers, which keeps regression
+baselines stable and experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class RandomStreams:
+    """A factory of independent ``random.Random`` streams.
+
+    Each stream is identified by a string name; its seed is derived by
+    hashing the master seed together with the name, so streams are stable
+    across runs and machines.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode("utf-8")).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def exponential(self, name: str, mean: float) -> float:
+        """One exponential draw with the given mean from stream ``name``."""
+        if mean <= 0:
+            raise ValueError(f"exponential mean must be positive, got {mean!r}")
+        return self.stream(name).expovariate(1.0 / mean)
+
+    def uniform_int(self, name: str, low: int, high: int) -> int:
+        """One integer uniform on [low, high] from stream ``name``."""
+        return self.stream(name).randint(low, high)
+
+    def choice(self, name: str, options: Sequence[T]) -> T:
+        """One uniform choice from ``options`` from stream ``name``."""
+        if not options:
+            raise ValueError("cannot choose from an empty sequence")
+        return self.stream(name).choice(options)
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """A child factory whose streams are independent of the parent's."""
+        digest = hashlib.sha256(f"{self.seed}:spawn:{name}".encode("utf-8")).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "big"))

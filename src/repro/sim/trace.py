@@ -1,0 +1,109 @@
+"""Structured trace log for simulation runs.
+
+Every interesting occurrence — message send/receive, checkpoint taken,
+commit, handoff — is appended to a :class:`TraceLog` as a
+:class:`TraceRecord`. The log is the ground truth used by the
+verification layer (:mod:`repro.analysis.consistency`): the consistency
+checkers never look at protocol state, only at the trace, so they are
+independent witnesses of protocol correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the event occurred.
+    kind:
+        A short string tag, e.g. ``"comp_send"`` or ``"checkpoint"``.
+        The set of kinds in use is documented by the emitting modules.
+    fields:
+        Event-specific payload. Keys are defined per kind by the emitter.
+    """
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class TraceLog:
+    """An append-only list of :class:`TraceRecord` with query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        """Append a record (no-op when the log is disabled)."""
+        if not self.enabled:
+            return
+        rec = TraceRecord(time, kind, fields)
+        self._records.append(rec)
+        for subscriber in self._subscribers:
+            subscriber(rec)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` for every subsequently recorded entry."""
+        self._subscribers.append(callback)
+
+    def of_kind(self, *kinds: str) -> List[TraceRecord]:
+        """All records whose kind is one of ``kinds``, in time order."""
+        wanted = set(kinds)
+        return [r for r in self._records if r.kind in wanted]
+
+    def where(self, kind: Optional[str] = None, **conditions: Any) -> List[TraceRecord]:
+        """Records matching a kind and exact field values."""
+        out = []
+        for r in self._records:
+            if kind is not None and r.kind != kind:
+                continue
+            if all(r.fields.get(k) == v for k, v in conditions.items()):
+                out.append(r)
+        return out
+
+    def count(self, kind: str, **conditions: Any) -> int:
+        """Number of records matching ``kind`` and field conditions."""
+        return len(self.where(kind, **conditions))
+
+    def last(self, kind: str) -> Optional[TraceRecord]:
+        """The most recent record of ``kind``, or None."""
+        for r in reversed(self._records):
+            if r.kind == kind:
+                return r
+        return None
+
+    def between(self, start: float, end: float) -> List[TraceRecord]:
+        """Records with ``start <= time <= end``."""
+        return [r for r in self._records if start <= r.time <= end]
+
+    def clear(self) -> None:
+        """Drop all records (subscribers are retained)."""
+        self._records.clear()
+
+    def kinds(self) -> Tuple[str, ...]:
+        """The distinct record kinds present, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for r in self._records:
+            seen.setdefault(r.kind, None)
+        return tuple(seen)

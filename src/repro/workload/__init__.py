@@ -1,0 +1,16 @@
+"""Traffic generators driving the application layer."""
+
+from repro.workload.base import Workload
+from repro.workload.bursty import BurstyWorkload, BurstyWorkloadConfig
+from repro.workload.group import GroupWorkload
+from repro.workload.point_to_point import PointToPointWorkload
+from repro.workload.trace import ScriptedWorkload
+
+__all__ = [
+    "BurstyWorkload",
+    "BurstyWorkloadConfig",
+    "GroupWorkload",
+    "PointToPointWorkload",
+    "ScriptedWorkload",
+    "Workload",
+]

@@ -1,0 +1,41 @@
+"""Point-to-point workload (paper §5.1).
+
+Each process sends computation messages with exponentially distributed
+inter-send times; the destination of each message is uniformly
+distributed over all other processes.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PointToPointWorkloadConfig
+from repro.core.system import MobileSystem
+from repro.workload.base import Workload
+
+
+class PointToPointWorkload(Workload):
+    """Uniform-destination exponential traffic."""
+
+    def __init__(
+        self, system: MobileSystem, config: PointToPointWorkloadConfig
+    ) -> None:
+        super().__init__(system)
+        self.config = config
+
+    def _schedule_initial(self) -> None:
+        for pid in self.system.processes:
+            self._schedule_next(pid)
+
+    def _schedule_next(self, pid: int) -> None:
+        delay = self.system.streams.exponential(
+            f"workload.p2p.{pid}", self.config.mean_send_interval
+        )
+        self.system.sim.schedule(delay, self._fire, pid)
+
+    def _fire(self, pid: int) -> None:
+        if not self.running:
+            return
+        others = [p for p in self.system.processes if p != pid]
+        if others:
+            dst = self.system.streams.choice(f"workload.p2p.dst.{pid}", others)
+            self._send(pid, dst)
+        self._schedule_next(pid)

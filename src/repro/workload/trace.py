@@ -1,0 +1,33 @@
+"""Scripted (trace-replay) workload.
+
+Used by the scenario engine (Figs. 1–4 reproductions) and by tests that
+need exact control over who sends what and when. The script is a list of
+``(time, src_pid, dst_pid)`` tuples; each entry emits one computation
+message at the given simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.core.system import MobileSystem
+from repro.workload.base import Workload
+
+ScriptEntry = Tuple[float, int, int]
+
+
+class ScriptedWorkload(Workload):
+    """Replays an explicit send schedule."""
+
+    def __init__(self, system: MobileSystem, script: Iterable[ScriptEntry]) -> None:
+        super().__init__(system)
+        self.script: List[ScriptEntry] = sorted(script, key=lambda e: e[0])
+
+    def _schedule_initial(self) -> None:
+        for time, src, dst in self.script:
+            self.system.sim.schedule_at(time, self._fire, src, dst)
+
+    def _fire(self, src: int, dst: int) -> None:
+        if not self.running:
+            return
+        self._send(src, dst)

@@ -1,0 +1,59 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii_chart import render_chart
+
+
+def test_basic_render_contains_markers_and_legend():
+    out = render_chart([1, 2, 3], {"a": [0, 1, 2], "b": [2, 1, 0]})
+    assert "o=a" in out and "x=b" in out
+    assert "o" in out and "x" in out
+
+
+def test_title_and_labels():
+    out = render_chart(
+        [1, 2], {"s": [1, 2]}, title="T", x_label="xs", y_label="ys"
+    )
+    assert out.splitlines()[0] == "T"
+    assert "xs" in out
+    assert "y: ys" in out
+
+
+def test_log_x_handles_decades():
+    out = render_chart([0.001, 0.01, 0.1], {"s": [1, 2, 3]}, log_x=True, width=30)
+    lines = [l for l in out.splitlines() if "|" in l]
+    # markers should appear at roughly even spacing under log mapping
+    cols = []
+    for line in lines:
+        body = line.split("|")[1]
+        for i, ch in enumerate(body):
+            if ch == "o":
+                cols.append(i)
+    assert len(cols) == 3
+    gaps = [b - a for a, b in zip(sorted(cols), sorted(cols)[1:])]
+    assert abs(gaps[0] - gaps[1]) <= 2
+
+
+def test_all_zero_series_ok():
+    out = render_chart([1, 2], {"flat": [0, 0]})
+    assert "flat" in out
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        render_chart([1, 2], {"s": [1, 2, 3]})
+
+
+def test_empty_x_rejected():
+    with pytest.raises(ValueError):
+        render_chart([], {"s": []})
+
+
+def test_height_and_width_respected():
+    out = render_chart([1, 2, 3], {"s": [1, 2, 3]}, width=20, height=5)
+    rows = [l for l in out.splitlines() if l.rstrip().endswith("|")]
+    assert len(rows) == 5
+    assert all(len(r.split("|")[1]) == 20 for r in rows)

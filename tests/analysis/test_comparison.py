@@ -1,0 +1,79 @@
+"""Tests for the Table 1 analytic cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import (
+    CostParameters,
+    analytic_table,
+    elnozahy_costs,
+    format_table,
+    koo_toueg_costs,
+    mutable_costs,
+)
+
+
+def test_paper_relationships_hold_for_defaults():
+    """The qualitative Table 1 statements as assertions."""
+    p = CostParameters()
+    kt, ejz, mu = koo_toueg_costs(p), elnozahy_costs(p), mutable_costs(p)
+    # blocking: only Koo-Toueg blocks
+    assert kt.blocking_time > 0
+    assert ejz.blocking_time == 0 and mu.blocking_time == 0
+    # checkpoints: min-process beats all-process
+    assert kt.checkpoints == mu.checkpoints == p.n_min
+    assert ejz.checkpoints == p.n
+    # messages: ours beats Koo-Toueg whenever N_dep > 1
+    assert mu.messages < kt.messages
+    # distribution
+    assert kt.distributed and mu.distributed and not ejz.distributed
+    # output commit: ours ~ N_min * T_ch, EJZ ~ N * T_ch
+    assert mu.output_commit_delay < ejz.output_commit_delay
+
+
+def test_message_reduction_quadratic_to_linear():
+    """§5.3.2: when N_min = N, message cost drops from O(N^2) to O(N)."""
+    small = CostParameters(n=16, n_min=16, n_dep=15)
+    big = CostParameters(n=64, n_min=64, n_dep=63)
+    for p in (small, big):
+        kt = koo_toueg_costs(p)
+        mu = mutable_costs(p)
+        assert kt.messages == pytest.approx(3 * p.n * (p.n - 1))
+        assert mu.messages <= 3 * p.n
+    # ratio grows with N (quadratic vs linear)
+    r_small = koo_toueg_costs(small).messages / mutable_costs(small).messages
+    r_big = koo_toueg_costs(big).messages / mutable_costs(big).messages
+    assert r_big > r_small
+
+
+def test_paper_worst_case_blocking_32s():
+    """§5.3.2: N_min = N = 16, T_ch = 2 s -> 32 s blocked."""
+    p = CostParameters(n=16, n_min=16, t_msg=0.0, t_data=2.0, t_disk=0.0)
+    assert koo_toueg_costs(p).blocking_time == pytest.approx(32.0)
+
+
+def test_mutable_overhead_term():
+    """Output commit: (N_min + N_muta) * T_ch ~ N_min * T_ch when the
+    redundant-mutable count is small."""
+    p = CostParameters(n_min=10, n_mut=0.4)
+    mu = mutable_costs(p)
+    assert mu.output_commit_delay == pytest.approx(10.4 * p.t_ch)
+
+
+def test_min_broadcast_tradeoff():
+    """Second-phase cost is min(N_min * C_air, C_broad) (§3.3.5)."""
+    few = CostParameters(n_min=2, c_broad=16.0)
+    many = CostParameters(n_min=14, c_broad=10.0)
+    assert mutable_costs(few).messages == pytest.approx(2 * 2 + 2)
+    assert mutable_costs(many).messages == pytest.approx(2 * 14 + 10)
+
+
+def test_analytic_table_and_formatting():
+    rows = analytic_table()
+    assert [r.algorithm for r in rows] == ["koo-toueg", "elnozahy", "mutable"]
+    text = format_table(rows, "Table 1")
+    assert "Table 1" in text
+    assert "koo-toueg" in text
+    assert len(text.splitlines()) == 5
+    assert rows[0].as_dict()["algorithm"] == "koo-toueg"

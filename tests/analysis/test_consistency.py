@@ -1,0 +1,154 @@
+"""Tests for the trace-based consistency checkers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.consistency import (
+    Orphan,
+    assert_line_consistent,
+    check_vector_clocks,
+    checkpoint_positions,
+    find_orphans,
+    latest_permanent_line,
+)
+from repro.checkpointing.storage import StableStorage
+from repro.checkpointing.types import CheckpointKind, CheckpointRecord
+from repro.errors import InconsistentCheckpointError
+from repro.sim.trace import TraceLog
+
+
+def ckpt(pid, csn, vc, kind=CheckpointKind.PERMANENT):
+    return CheckpointRecord(
+        pid=pid, csn=csn, kind=kind, time_taken=float(csn), vector_clock=vc
+    )
+
+
+def trace_with(records):
+    log = TraceLog()
+    for time, kind, fields in records:
+        log.record(time, kind, **fields)
+    return log
+
+
+class TestCheckpointPositions:
+    def test_first_occurrence_wins(self):
+        """A promoted mutable's capture point is the 'mutable' record."""
+        log = trace_with(
+            [
+                (0.0, "mutable", {"pid": 0, "ckpt_id": 7}),
+                (1.0, "tentative", {"pid": 0, "ckpt_id": 7}),
+            ]
+        )
+        assert checkpoint_positions(log) == {7: 0}
+
+    def test_ignores_other_kinds(self):
+        log = trace_with(
+            [
+                (0.0, "comp_send", {"msg_id": 1}),
+                (1.0, "permanent", {"pid": 0, "ckpt_id": 3}),
+            ]
+        )
+        assert checkpoint_positions(log) == {3: 1}
+
+
+class TestFindOrphans:
+    def _line_and_trace(self, recv_before_ckpt, send_before_ckpt):
+        """Two processes; message from 0 to 1; checkpoint order varies."""
+        events = []
+        events.append((0.0, "permanent", {"pid": 0, "ckpt_id": 100}))
+        if send_before_ckpt:
+            events.insert(0, (0.0, "comp_send", {"src": 0, "dst": 1, "msg_id": 1}))
+        else:
+            events.append((1.0, "comp_send", {"src": 0, "dst": 1, "msg_id": 1}))
+        if recv_before_ckpt:
+            events.append((2.0, "comp_recv", {"src": 0, "dst": 1, "msg_id": 1}))
+            events.append((3.0, "permanent", {"pid": 1, "ckpt_id": 101}))
+        else:
+            events.append((2.0, "permanent", {"pid": 1, "ckpt_id": 101}))
+            events.append((3.0, "comp_recv", {"src": 0, "dst": 1, "msg_id": 1}))
+        log = trace_with(events)
+        line = {
+            0: CheckpointRecord(pid=0, csn=1, kind=CheckpointKind.PERMANENT, time_taken=0.0, ckpt_id=100),
+            1: CheckpointRecord(pid=1, csn=1, kind=CheckpointKind.PERMANENT, time_taken=0.0, ckpt_id=101),
+        }
+        # ckpt_id is init=False in the dataclass; set explicitly
+        return log, line
+
+    def test_orphan_detected(self):
+        log, line = self._line_and_trace(recv_before_ckpt=True, send_before_ckpt=False)
+        orphans = find_orphans(log, line)
+        assert len(orphans) == 1
+        assert orphans[0].msg_id == 1
+
+    def test_recorded_send_and_recv_ok(self):
+        log, line = self._line_and_trace(recv_before_ckpt=True, send_before_ckpt=True)
+        assert find_orphans(log, line) == []
+
+    def test_lost_message_is_not_orphan(self):
+        """Send recorded, receive not recorded: lost, but consistent."""
+        log, line = self._line_and_trace(recv_before_ckpt=False, send_before_ckpt=True)
+        assert find_orphans(log, line) == []
+
+    def test_missing_checkpoint_raises(self):
+        log = trace_with([(0.0, "comp_send", {"src": 0, "dst": 1, "msg_id": 1})])
+        line = {0: ckpt(0, 1, (1, 0))}
+        with pytest.raises(InconsistentCheckpointError):
+            find_orphans(log, line)
+
+
+class TestVectorClockChecker:
+    def test_consistent_line(self):
+        line = {0: ckpt(0, 1, (2, 0)), 1: ckpt(1, 1, (1, 3))}
+        assert check_vector_clocks(line)
+
+    def test_inconsistent_line(self):
+        line = {0: ckpt(0, 1, (2, 0)), 1: ckpt(1, 1, (5, 3))}
+        assert not check_vector_clocks(line)
+
+
+class TestLatestPermanentLine:
+    def test_picks_newest_across_storages(self):
+        s1, s2 = StableStorage("a"), StableStorage("b")
+        old = ckpt(0, 1, (1,))
+        new = ckpt(0, 2, (2,))
+        s1.store(old)
+        s2.store(new)
+        line = latest_permanent_line([s1, s2], [0])
+        assert line[0] is new
+
+    def test_ignores_tentative(self):
+        s = StableStorage()
+        perm = ckpt(0, 1, (1,))
+        tent = ckpt(0, 2, (2,), kind=CheckpointKind.TENTATIVE)
+        s.store(perm)
+        s.store(tent)
+        line = latest_permanent_line([s], [0])
+        assert line[0] is perm
+
+    def test_missing_process_raises(self):
+        s = StableStorage()
+        with pytest.raises(InconsistentCheckpointError):
+            latest_permanent_line([s], [0])
+
+
+def test_assert_line_consistent_raises_with_details():
+    log = trace_with(
+        [
+            (0.0, "permanent", {"pid": 0, "ckpt_id": 200}),
+            (1.0, "comp_send", {"src": 0, "dst": 1, "msg_id": 9}),
+            (2.0, "comp_recv", {"src": 0, "dst": 1, "msg_id": 9}),
+            (3.0, "permanent", {"pid": 1, "ckpt_id": 201}),
+        ]
+    )
+    line = {
+        0: CheckpointRecord(pid=0, csn=1, kind=CheckpointKind.PERMANENT, time_taken=0.0, ckpt_id=200),
+        1: CheckpointRecord(pid=1, csn=1, kind=CheckpointKind.PERMANENT, time_taken=0.0, ckpt_id=201),
+    }
+    with pytest.raises(InconsistentCheckpointError, match="orphan"):
+        assert_line_consistent(log, line)
+
+
+def test_orphan_str():
+    o = Orphan(msg_id=1, src=0, dst=1, send_position=None, recv_position=5)
+    assert "orphan message 1" in str(o)

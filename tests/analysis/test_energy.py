@@ -1,0 +1,109 @@
+"""Tests for energy accounting and doze management."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.energy import DozeManager, EnergyModel, EnergyParams
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.core.config import PointToPointWorkloadConfig, SystemConfig
+from repro.core.system import MobileSystem
+from repro.workload.point_to_point import PointToPointWorkload
+
+
+def build(n=4, seed=3):
+    return MobileSystem(SystemConfig(n_processes=n, seed=seed), MutableCheckpointProtocol())
+
+
+def test_tx_rx_bytes_counted():
+    system = build()
+    system.processes[0].send_computation(1)
+    system.sim.run_until_idle()
+    model = EnergyModel(system)
+    sender = model.host_report(0)
+    receiver = model.host_report(1)
+    assert sender.tx_bytes == 1024
+    assert receiver.rx_bytes == 1024
+    assert sender.tx_mj > receiver.rx_mj  # tx costs ~2x rx per byte
+
+
+def test_checkpoint_transfer_charged_as_tx():
+    system = build()
+    system.processes[0].send_computation(1)
+    system.sim.run_until_idle()
+    assert system.protocol.processes[1].initiate()
+    system.sim.run_until_idle()
+    report = EnergyModel(system).host_report(1)
+    assert report.background_bytes >= 512 * 1024
+    assert report.tx_mj > 512 * 1.9  # dominated by the checkpoint data
+
+
+def test_doze_manager_puts_idle_hosts_to_sleep():
+    system = build()
+    manager = DozeManager(system, idle_timeout=10.0, poll_interval=1.0)
+    manager.start()
+    system.sim.run(until=20.0)
+    manager.stop()
+    assert all(mh.dozing for mh in system.mhs)
+
+
+def test_message_wakes_dozing_host():
+    system = build()
+    manager = DozeManager(system, idle_timeout=5.0, poll_interval=1.0)
+    manager.start()
+    system.sim.run(until=10.0)
+    assert system.mhs[1].dozing
+    system.processes[0].send_computation(1)
+    system.sim.run(until=11.0)
+    manager.stop()
+    assert not system.mhs[1].dozing
+    assert system.mhs[1].wakeups == 1
+    assert system.mhs[1].doze_time > 0
+
+
+def test_totals_aggregate():
+    system = build()
+    workload = PointToPointWorkload(system, PointToPointWorkloadConfig(2.0))
+    workload.start()
+    system.sim.run(until=50.0)
+    workload.stop()
+    system.run_until_quiescent()
+    totals = EnergyModel(system).totals()
+    assert totals["total_mj"] > 0
+    assert totals["tx_mj"] > 0 and totals["rx_mj"] > 0
+    assert totals["tx_mj"] == pytest.approx(totals["rx_mj"] * 1.9, rel=0.05)
+
+
+def test_broadcast_commit_wakes_more_dozing_hosts_than_update():
+    """§5.3.2: broadcast wastes dozing hosts' energy; update mode spares
+    processes uninvolved in the checkpointing."""
+
+    def run(mode):
+        system = MobileSystem(
+            SystemConfig(n_processes=8, seed=3),
+            MutableCheckpointProtocol(commit_mode=mode),
+        )
+        # only processes 0 and 1 communicate; 2..7 stay idle and doze
+        system.processes[1].send_computation(0)
+        system.sim.run_until_idle()
+        manager = DozeManager(system, idle_timeout=5.0, poll_interval=1.0)
+        manager.start()
+        system.sim.run(until=20.0)
+        assert system.protocol.processes[0].initiate()
+        system.sim.run(until=60.0)
+        manager.stop()
+        system.run_until_quiescent()
+        return sum(mh.wakeups for mh in system.mhs)
+
+    broadcast_wakeups = run("broadcast")
+    update_wakeups = run("update")
+    assert update_wakeups < broadcast_wakeups
+
+
+def test_energy_params_configurable():
+    system = build()
+    system.processes[0].send_computation(1)
+    system.sim.run_until_idle()
+    expensive = EnergyModel(system, EnergyParams(tx_uj_per_byte=100.0))
+    cheap = EnergyModel(system, EnergyParams(tx_uj_per_byte=0.1))
+    assert expensive.host_report(0).tx_mj > cheap.host_report(0).tx_mj

@@ -1,0 +1,63 @@
+"""Tests for per-initiation metric extraction."""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import committed_stats, per_initiation_stats
+from repro.checkpointing.types import Trigger
+from repro.sim.trace import TraceLog
+
+
+def build_trace():
+    t = Trigger(0, 1)
+    u = Trigger(2, 1)
+    log = TraceLog()
+    log.record(0.0, "initiation", pid=0, trigger=t)
+    log.record(0.1, "tentative", pid=0, trigger=t, csn=1, ckpt_id=1)
+    log.record(0.2, "mutable", pid=1, trigger=t, csn=1, ckpt_id=2)
+    log.record(0.3, "mutable_promoted", pid=1, trigger=t, ckpt_id=2)
+    log.record(0.3, "tentative", pid=1, trigger=t, csn=1, ckpt_id=2)
+    log.record(0.4, "mutable", pid=2, trigger=t, csn=1, ckpt_id=3)
+    log.record(2.0, "commit", trigger=t)
+    log.record(2.0, "mutable_discarded", pid=2, trigger=t, ckpt_id=3)
+    log.record(2.1, "permanent", pid=0, trigger=t, ckpt_id=1)
+    log.record(2.1, "permanent", pid=1, trigger=t, ckpt_id=2)
+    # a second initiation that aborts
+    log.record(5.0, "initiation", pid=2, trigger=u)
+    log.record(5.1, "tentative", pid=2, trigger=u, csn=1, ckpt_id=4)
+    log.record(6.0, "abort", trigger=u)
+    return log, t, u
+
+
+def test_per_initiation_counts():
+    log, t, u = build_trace()
+    stats = per_initiation_stats(log)
+    s = stats[t]
+    assert s.tentative_count == 2
+    assert s.mutable_count == 2
+    assert s.promoted_mutables == 1
+    assert s.redundant_mutables == 1
+    assert s.permanent_count == 2
+    assert s.participants == [0, 1]
+    assert s.committed
+    assert s.duration == 2.0
+
+
+def test_aborted_initiation():
+    log, t, u = build_trace()
+    s = per_initiation_stats(log)[u]
+    assert not s.committed
+    assert s.abort_time == 6.0
+    assert s.duration == 1.0
+
+
+def test_committed_stats_filters_and_orders():
+    log, t, u = build_trace()
+    stats = committed_stats(log)
+    assert [s.trigger for s in stats] == [t]
+
+
+def test_untriggered_records_ignored():
+    log = TraceLog()
+    log.record(0.0, "permanent", pid=0, trigger=None, ckpt_id=1)
+    log.record(0.1, "tentative", pid=1, trigger=None, ckpt_id=2, induced=True)
+    assert per_initiation_stats(log) == {}

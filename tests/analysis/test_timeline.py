@@ -1,0 +1,66 @@
+"""Tests for the swimlane timeline renderer."""
+
+from __future__ import annotations
+
+from repro.analysis.timeline import render_timeline
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.scenarios.harness import ScenarioHarness
+
+
+def make_harness():
+    h = ScenarioHarness(3, MutableCheckpointProtocol())
+    h.deliver(h.send(1, 0))
+    h.initiate(0)
+    h.deliver_all_system()
+    return h
+
+
+def test_timeline_has_one_lane_per_process():
+    h = make_harness()
+    out = render_timeline(h.trace, 3)
+    for pid in range(3):
+        assert f"P{pid}" in out
+
+
+def test_timeline_contains_expected_glyphs():
+    h = make_harness()
+    out = render_timeline(h.trace, 3)
+    assert "I" in out          # initiation
+    assert "T" in out          # tentative
+    assert "#" in out          # permanent
+    assert ">0" in out         # send to P0
+    assert "<1" in out         # recv from P1
+
+
+def test_kinds_filter():
+    h = make_harness()
+    out = render_timeline(h.trace, 3, kinds=["tentative"])
+    assert "T" in out
+    assert ">" not in out.replace(">n", "")  # no send glyphs
+
+
+def test_unlabelled_messages():
+    h = make_harness()
+    out = render_timeline(h.trace, 3, label_messages=False)
+    assert "> " in out or ">\n" in out or "> " in out
+
+
+def test_wraps_long_traces():
+    h = ScenarioHarness(2, MutableCheckpointProtocol())
+    for _ in range(60):
+        h.deliver(h.send(0, 1))
+    out = render_timeline(h.trace, 2, width=40)
+    # multiple row blocks: P0 appears more than once
+    assert out.count("P0") > 1
+
+
+def test_mutable_lifecycle_glyphs():
+    h = ScenarioHarness(3, MutableCheckpointProtocol())
+    h.deliver(h.send(2, 1))   # P1 depends on P2
+    h.send(2, 0)              # P2 sent this interval
+    h.initiate(1)
+    h.deliver(h.send(1, 2))   # P2 takes a mutable
+    h.deliver_all_system()    # promoted on request
+    out = render_timeline(h.trace, 3)
+    assert "m" in out
+    assert "P " in out or "P." in out  # promoted glyph in a lane

@@ -1,0 +1,79 @@
+"""Tests for vector clocks and the snapshot consistency test."""
+
+from __future__ import annotations
+
+from repro.analysis.vector_clock import (
+    VectorClock,
+    concurrent,
+    happened_before,
+    snapshot_consistent,
+)
+
+
+def test_tick_advances_own_component():
+    vc = VectorClock(1, 3)
+    vc.tick()
+    vc.tick()
+    assert vc.snapshot() == (0, 2, 0)
+
+
+def test_merge_componentwise_max():
+    vc = VectorClock(0, 3)
+    vc.tick()
+    vc.merge((0, 5, 2))
+    assert vc.snapshot() == (1, 5, 2)
+
+
+def test_restore():
+    vc = VectorClock(0, 3)
+    vc.tick()
+    snap = vc.snapshot()
+    vc.tick()
+    vc.restore(snap)
+    assert vc.snapshot() == snap
+
+
+def test_happened_before_basic():
+    assert happened_before((1, 0), (2, 0))
+    assert happened_before((1, 0), (1, 1))
+    assert not happened_before((2, 0), (1, 0))
+    assert not happened_before((1, 0), (1, 0))
+
+
+def test_concurrent_detection():
+    assert concurrent((1, 0), (0, 1))
+    assert not concurrent((1, 0), (2, 0))
+    assert not concurrent((1, 1), (1, 1))
+
+
+def test_message_transfer_creates_ordering():
+    """Send at A then receive at B makes A's event precede B's clock."""
+    a, b = VectorClock(0, 2), VectorClock(1, 2)
+    a.tick()                    # send event
+    stamp = a.snapshot()
+    b.merge(stamp)
+    b.tick()                    # receive event
+    assert happened_before(stamp, b.snapshot())
+
+
+def test_snapshot_consistent_accepts_concurrent_cuts():
+    snaps = [(0, (3, 1)), (1, (1, 4))]
+    assert snapshot_consistent(snaps)
+
+
+def test_snapshot_consistent_rejects_orphan():
+    """P1's snapshot knows 5 events of P0, but P0's own snapshot has 3."""
+    snaps = [(0, (3, 0)), (1, (5, 4))]
+    assert not snapshot_consistent(snaps)
+
+
+def test_snapshot_consistent_identical_clocks():
+    snaps = [(0, (2, 2)), (1, (2, 2))]
+    assert snapshot_consistent(snaps)
+
+
+def test_snapshot_consistent_three_way():
+    good = [(0, (1, 0, 0)), (1, (1, 2, 0)), (2, (0, 0, 1))]
+    assert snapshot_consistent(good)
+    bad = [(0, (1, 0, 0)), (1, (1, 2, 0)), (2, (2, 0, 1))]
+    assert not snapshot_consistent(bad)

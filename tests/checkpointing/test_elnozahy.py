@@ -1,0 +1,85 @@
+"""Tests for the Elnozahy-Johnson-Zwaenepoel all-process baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpointing.elnozahy import ElnozahyProtocol
+from repro.checkpointing.types import CheckpointKind
+from repro.scenarios.harness import ScenarioHarness
+from tests.conftest import run_experiment
+
+
+def harness(n=4) -> ScenarioHarness:
+    return ScenarioHarness(n, ElnozahyProtocol(coordinator=0))
+
+
+class TestProtocolLogic:
+    def test_only_coordinator_initiates(self):
+        h = harness()
+        assert not h.initiate(1)
+        assert h.initiate(0)
+
+    def test_all_processes_checkpoint(self):
+        h = harness()
+        h.initiate(0)
+        h.deliver_all_system()
+        assert h.trace.count("tentative") == 4
+        assert h.trace.count("commit") == 1
+        line = h.recovery_line()
+        assert all(rec.kind == CheckpointKind.PERMANENT for rec in line.values())
+        assert all(rec.csn == 1 for rec in line.values())
+
+    def test_csn_piggyback_forces_checkpoint_before_processing(self):
+        """The nonblocking trick: a stamped message checkpoints first."""
+        h = harness()
+        h.initiate(0)
+        m = h.send(0, 2)          # carries csn 1
+        h.deliver(m)              # P2 checkpoints before processing
+        assert h.processes[2].csn == 1
+        assert h.trace.count("tentative", pid=2) == 1
+        h.deliver_all_system()
+        # no double checkpoint when the request arrives afterwards
+        assert h.trace.count("tentative", pid=2) == 1
+        h.assert_consistent()
+
+    def test_second_initiation_increments_csn(self):
+        h = harness()
+        h.initiate(0)
+        h.deliver_all_system()
+        h.initiate(0)
+        h.deliver_all_system()
+        assert all(p.csn == 2 for p in h.processes)
+        assert h.trace.count("commit") == 2
+
+    def test_reinitiation_while_active_refused(self):
+        h = harness()
+        h.initiate(0)
+        assert not h.initiate(0)
+
+    def test_consistency_with_crossing_traffic(self):
+        h = harness()
+        m_before = h.send(1, 2)   # sent before the checkpoint wave
+        h.initiate(0)
+        h.deliver(m_before)
+        h.deliver_all_system()
+        h.assert_consistent()
+
+
+class TestSimulation:
+    def test_forces_all_n_checkpoints(self):
+        _, result = run_experiment(ElnozahyProtocol(), initiations=3)
+        assert result.tentative_summary().mean == 8.0  # n_processes
+
+    def test_message_cost_two_broadcasts_plus_n(self):
+        """Table 1's 2*C_broad + N*C_air: two broadcasts and N-1 unicast
+        replies per initiation (monitor counts broadcasts separately)."""
+        system, result = run_experiment(ElnozahyProtocol(), initiations=3)
+        per_init = result.counters["system_messages"] / (result.n_initiations + 1)
+        n = system.config.n_processes
+        assert per_init == pytest.approx(n - 1, rel=0.01)
+        assert result.counters["broadcasts"] / (result.n_initiations + 1) == 2
+
+    def test_zero_blocking(self):
+        _, result = run_experiment(ElnozahyProtocol(), initiations=3)
+        assert result.total_blocked_time == 0.0

@@ -1,0 +1,128 @@
+"""Tests for the distributed rollback protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.vector_clock import snapshot_consistent
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.checkpointing.rollback_protocol import DistributedRecovery
+from repro.core.config import PointToPointWorkloadConfig, SystemConfig
+from repro.core.system import MobileSystem
+from repro.errors import ProtocolError
+from repro.workload.point_to_point import PointToPointWorkload
+
+
+def build(seed=5, n=6):
+    system = MobileSystem(
+        SystemConfig(n_processes=n, seed=seed), MutableCheckpointProtocol()
+    )
+    recovery = DistributedRecovery(system)
+    workload = PointToPointWorkload(system, PointToPointWorkloadConfig(5.0))
+    return system, recovery, workload
+
+
+def checkpointed_run(system, workload, until=150.0):
+    workload.start()
+    system.sim.run(until=until / 2)
+    assert system.protocol.processes[0].initiate()
+    system.sim.run(until=until)
+
+
+def test_recovery_round_completes():
+    system, recovery, workload = build()
+    checkpointed_run(system, workload)
+    round_ = recovery.recover(2)
+    system.sim.run(until=system.sim.now + 30.0)
+    assert round_.complete
+    assert round_.duration > 0
+    assert len(round_.acked) == 6
+    assert system.sim.trace.count("recovery_complete") == 1
+
+
+def test_all_processes_restored_to_consistent_line():
+    system, recovery, workload = build()
+    checkpointed_run(system, workload)
+    recovery.recover(0)
+    system.sim.run(until=system.sim.now + 30.0)
+    snapshots = [(pid, p.vc.snapshot()) for pid, p in system.processes.items()]
+    assert snapshot_consistent(snapshots)
+    assert all(p.incarnation == 1 for p in system.processes.values())
+
+
+def test_computation_resumes_after_recovery():
+    system, recovery, workload = build()
+    checkpointed_run(system, workload)
+    recovery.recover(0)
+    system.sim.run(until=system.sim.now + 30.0)
+    received_before = sum(
+        p.app_state["messages_received"] for p in system.processes.values()
+    )
+    system.sim.run(until=system.sim.now + 100.0)
+    workload.stop()
+    system.run_until_quiescent()
+    received_after = sum(
+        p.app_state["messages_received"] for p in system.processes.values()
+    )
+    assert received_after > received_before
+    assert not any(p.blocked for p in system.processes.values())
+
+
+def test_ghost_messages_from_old_incarnation_dropped():
+    system, recovery, workload = build(seed=7)
+    checkpointed_run(system, workload)
+    # a computation message (8 ms flight) is in the air when recovery
+    # starts; the 0.4 ms rollback_request beats it to the destination,
+    # so it arrives stamped with the dead incarnation
+    system.processes[1].send_computation(2, payload="ghost")
+    recovery.recover(3)
+    system.sim.run(until=system.sim.now + 60.0)
+    workload.stop()
+    system.run_until_quiescent()
+    assert system.monitor.counter("stale_incarnation_dropped") >= 1
+
+
+def test_recovery_aborts_active_checkpointing():
+    system, recovery, workload = build(seed=9)
+    workload.start()
+    system.sim.run(until=100.0)
+    assert system.protocol.processes[0].initiate()
+    system.sim.run(until=system.sim.now + 0.5)  # mid-coordination
+    recovery.recover(1)
+    system.sim.run(until=system.sim.now + 60.0)
+    assert system.sim.trace.count("abort") == 1
+    assert system.sim.trace.count("recovery_complete") == 1
+
+
+def test_concurrent_recovery_rejected():
+    system, recovery, workload = build()
+    checkpointed_run(system, workload)
+    recovery.recover(0)
+    with pytest.raises(ProtocolError):
+        recovery.recover(1)
+
+
+def test_second_recovery_bumps_incarnation():
+    system, recovery, workload = build()
+    checkpointed_run(system, workload)
+    recovery.recover(0)
+    system.sim.run(until=system.sim.now + 30.0)
+    round2 = recovery.recover(1)
+    system.sim.run(until=system.sim.now + 30.0)
+    assert round2.incarnation == 2
+    assert all(p.incarnation == 2 for p in system.processes.values())
+
+
+def test_system_can_checkpoint_again_after_recovery():
+    from repro.analysis.consistency import assert_line_consistent, latest_permanent_line
+
+    system, recovery, workload = build(seed=11)
+    checkpointed_run(system, workload)
+    recovery.recover(0)
+    system.sim.run(until=system.sim.now + 60.0)
+    assert system.protocol.processes[2].initiate()
+    system.sim.run(until=system.sim.now + 120.0)
+    workload.stop()
+    system.run_until_quiescent()
+    line = latest_permanent_line(system.all_stable_storages(), system.processes)
+    assert_line_consistent(system.sim.trace, line)

@@ -1,0 +1,103 @@
+"""Tests for the §3.1.1 strawman schemes and the no-mutable control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.checkpointing.simple_schemes import (
+    BasicCsnProtocol,
+    NoMutableVariantProtocol,
+    RevisedCsnProtocol,
+)
+from repro.scenarios.harness import ScenarioHarness
+
+
+class TestBasicScheme:
+    def test_higher_csn_message_induces_stable_checkpoint(self):
+        h = ScenarioHarness(3, BasicCsnProtocol())
+        h.deliver(h.send(0, 1))    # keep P1's coordination open
+        h.initiate(1)              # P1's csn rises to 1
+        m = h.send(1, 2)
+        h.deliver(m)
+        assert h.trace.count("tentative", pid=2, induced=True) == 1
+
+    def test_induced_checkpoint_recursively_requests_dependencies(self):
+        """The avalanche: P2's induced checkpoint asks P0 to checkpoint."""
+        h = ScenarioHarness(4, BasicCsnProtocol())
+        h.deliver(h.send(0, 2))    # P2 depends on P0
+        h.deliver(h.send(3, 1))    # keep P1's coordination open
+        h.initiate(1)
+        h.deliver(h.send(1, 2))    # induces a checkpoint at P2
+        induce = h.pending_system("induce")
+        assert [f.dst for f in induce] == [0]
+        h.deliver(induce[0])
+        assert h.trace.count("tentative", pid=0, induced=True) == 1
+
+    def test_avalanche_count_exceeds_revised_and_mutable(self):
+        """§3.1's motivation, deterministically: basic > revised > mutable
+        in checkpoints for the same message pattern."""
+        pattern = [(1, 2), (2, 0), (0, 1), (1, 0), (2, 1), (0, 2)]
+
+        def run(protocol):
+            h = ScenarioHarness(3, protocol)
+            h.deliver(h.send(2, 1))        # keep P1's coordination open
+            h.initiate(1)
+            for src, dst in pattern:
+                h.deliver(h.send(src, dst))
+            h.deliver_everything()
+            return h.trace.count("tentative")
+
+        basic = run(BasicCsnProtocol())
+        revised = run(RevisedCsnProtocol())
+        mutable = run(MutableCheckpointProtocol())
+        assert basic >= revised >= mutable
+
+    def test_consistency_despite_avalanche(self):
+        h = ScenarioHarness(3, BasicCsnProtocol())
+        h.deliver(h.send(2, 1))
+        h.initiate(1)
+        for src, dst in [(1, 2), (2, 0), (0, 1)]:
+            h.deliver(h.send(src, dst))
+        h.deliver_everything()
+        h.assert_consistent()
+
+
+class TestRevisedScheme:
+    def test_no_checkpoint_without_prior_send(self):
+        h = ScenarioHarness(3, RevisedCsnProtocol())
+        h.deliver(h.send(0, 1))
+        h.initiate(1)
+        h.deliver(h.send(1, 2))    # P2 never sent: no induced checkpoint
+        assert h.trace.count("tentative", pid=2) == 0
+
+    def test_checkpoint_with_prior_send(self):
+        h = ScenarioHarness(3, RevisedCsnProtocol())
+        h.deliver(h.send(0, 1))
+        h.send(2, 0)               # P2 sent this interval
+        h.initiate(1)
+        h.deliver(h.send(1, 2))
+        assert h.trace.count("tentative", pid=2, induced=True) == 1
+
+
+class TestNoMutableControl:
+    def test_impossibility_scenario_orphans(self):
+        """The §2.4 situation yields an orphan without mutable checkpoints
+        and no orphan with them — the checkers must tell them apart."""
+        from repro.scenarios.figures import figure2, figure2_with_mutable
+
+        broken = figure2()
+        assert not broken.consistent
+        assert broken.orphan_msg_ids
+        fixed = figure2_with_mutable()
+        assert fixed.consistent
+        assert fixed.mutable_promoted == 1
+
+    def test_tagged_message_processed_without_checkpoint(self):
+        h = ScenarioHarness(3, NoMutableVariantProtocol())
+        h.deliver(h.send(0, 1))
+        h.send(2, 0)
+        h.initiate(1)
+        h.deliver(h.send(1, 2))
+        assert not h.processes[2].mutables
+        assert h.app_state[2]["messages_received"] == 1

@@ -1,0 +1,104 @@
+"""Tests for the loosely-synchronized-clocks baseline ([10], [29])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.consistency import assert_line_consistent, latest_permanent_line
+from repro.checkpointing.timer_based import TimerBasedProtocol
+from repro.core.config import PointToPointWorkloadConfig, SystemConfig
+from repro.core.system import MobileSystem
+from repro.errors import ProtocolError
+from repro.workload.point_to_point import PointToPointWorkload
+
+
+def build(n=6, seed=3, interval=120.0, max_skew=1.0, detection=2.0):
+    protocol = TimerBasedProtocol(
+        interval=interval, max_skew=max_skew, detection_time=detection
+    )
+    system = MobileSystem(SystemConfig(n_processes=n, seed=seed), protocol)
+    return system, protocol
+
+
+def run_with_traffic(system, protocol, rounds=3, mean=5.0):
+    workload = PointToPointWorkload(system, PointToPointWorkloadConfig(mean))
+    workload.start()
+    protocol.start(rounds=rounds)
+    system.sim.run(until=protocol.interval * (rounds + 1))
+    workload.stop()
+    system.run_until_quiescent()
+
+
+def test_no_coordination_messages():
+    system, protocol = build()
+    run_with_traffic(system, protocol)
+    assert system.monitor.counter("system_messages") == 0
+    assert system.monitor.counter("broadcasts") == 0
+
+
+def test_all_processes_checkpoint_every_round():
+    system, protocol = build()
+    run_with_traffic(system, protocol, rounds=3)
+    for pid in system.processes:
+        assert system.sim.trace.count("tentative", pid=pid) == 3
+
+
+def test_recovery_line_consistent():
+    system, protocol = build(seed=7)
+    run_with_traffic(system, protocol, rounds=3)
+    line = latest_permanent_line(system.all_stable_storages(), system.processes)
+    assert_line_consistent(system.sim.trace, line)
+
+
+def test_consistency_across_seeds_and_skews():
+    for seed in (1, 2, 3):
+        for skew in (0.1, 2.0):
+            system, protocol = build(seed=seed, max_skew=skew)
+            run_with_traffic(system, protocol, rounds=2, mean=2.0)
+            line = latest_permanent_line(
+                system.all_stable_storages(), system.processes
+            )
+            assert_line_consistent(system.sim.trace, line)
+
+
+def test_blocking_time_matches_the_wait_formula():
+    """Every process blocks 2*max_skew + detection per round (§6)."""
+    system, protocol = build(max_skew=1.5, detection=2.5)
+    run_with_traffic(system, protocol, rounds=2)
+    expected_per_round = 2 * 1.5 + 2.5
+    for process in system.processes.values():
+        assert process.total_blocked_time == pytest.approx(
+            2 * expected_per_round, rel=0.01
+        )
+
+
+def test_skews_are_bounded_and_spread():
+    system, protocol = build(n=8, max_skew=1.0)
+    skews = [p.skew for p in protocol.processes.values()]
+    assert all(-1.0 <= s <= 1.0 for s in skews)
+    assert len(set(round(s, 6) for s in skews)) > 1
+
+
+def test_no_on_demand_initiation():
+    system, protocol = build()
+    assert not system.protocol.processes[0].initiate()
+
+
+def test_start_requires_processes():
+    with pytest.raises(ProtocolError):
+        TimerBasedProtocol().start(rounds=1)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ProtocolError):
+        TimerBasedProtocol(interval=0.0)
+    with pytest.raises(ProtocolError):
+        TimerBasedProtocol(max_skew=-1.0)
+
+
+def test_commit_reported_once_per_round():
+    system, protocol = build()
+    commits = []
+    protocol.add_commit_listener(commits.append)
+    run_with_traffic(system, protocol, rounds=3)
+    assert len(commits) == 3

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_protocols_lists_all(capsys):
+    assert main(["protocols"]) == 0
+    out = capsys.readouterr().out
+    for name in ("mutable", "koo-toueg", "elnozahy", "chandy-lamport"):
+        assert name in out
+
+
+def test_run_prints_summary(capsys):
+    code = main(
+        ["run", "--protocol", "mutable", "--processes", "6", "--rate", "0.05",
+         "--initiations", "3", "--seed", "9"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tentative / initiation" in out
+    assert "protocol                : mutable" in out
+
+
+def test_run_with_verify(capsys):
+    code = main(
+        ["run", "--processes", "6", "--rate", "0.05", "--initiations", "3",
+         "--verify"]
+    )
+    assert code == 0
+    assert "consistent" in capsys.readouterr().out
+
+
+def test_run_group_workload(capsys):
+    code = main(
+        ["run", "--processes", "8", "--workload", "group", "--rate", "0.05",
+         "--initiations", "3"]
+    )
+    assert code == 0
+
+
+def test_run_export_trace(tmp_path, capsys):
+    path = str(tmp_path / "trace.jsonl")
+    code = main(
+        ["run", "--processes", "4", "--rate", "0.05", "--initiations", "2",
+         "--export-trace", path]
+    )
+    assert code == 0
+    from repro.sim.export import read_trace
+
+    trace = read_trace(path)
+    assert trace.count("commit") >= 2
+
+
+def test_figures_command(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3" in out and "INCONSISTENT (as intended)" in out
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--protocol", "nope"])
+
+
+def test_no_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

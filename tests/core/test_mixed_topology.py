@@ -1,0 +1,84 @@
+"""Tests for the §2.1 mixed topology (processes on MSSs and MHs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.consistency import assert_line_consistent, latest_permanent_line
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.core.config import PointToPointWorkloadConfig, RunConfig, SystemConfig
+from repro.core.runner import ExperimentRunner
+from repro.core.system import MobileSystem
+from repro.errors import ConfigurationError
+from repro.net.mss import MobileSupportStation
+from repro.workload.point_to_point import PointToPointWorkload
+
+
+def build(n=6, on_mss=2, seed=5):
+    return MobileSystem(
+        SystemConfig(n_processes=n, processes_on_mss=on_mss, seed=seed),
+        MutableCheckpointProtocol(),
+    )
+
+
+def test_static_processes_live_on_mss():
+    system = build()
+    for pid in (0, 1):
+        assert isinstance(system.processes[pid].host, MobileSupportStation)
+    for pid in (2, 3, 4, 5):
+        assert not isinstance(system.processes[pid].host, MobileSupportStation)
+    assert len(system.mhs) == 4
+
+
+def test_invalid_count_rejected():
+    with pytest.raises(ConfigurationError):
+        SystemConfig(n_processes=4, processes_on_mss=5)
+
+
+def test_messages_flow_both_directions():
+    system = build()
+    system.processes[0].send_computation(5)   # MSS -> MH
+    system.processes[5].send_computation(0)   # MH -> MSS
+    system.sim.run_until_idle()
+    assert system.processes[0].app_state["messages_received"] == 1
+    assert system.processes[5].app_state["messages_received"] == 1
+
+
+def test_static_checkpoint_skips_wireless():
+    """A static process's checkpoint needs no 512 KB wireless transfer."""
+    system = build()
+    system.processes[5].send_computation(0)
+    system.sim.run_until_idle()
+    t0 = system.sim.now
+    assert system.protocol.processes[0].initiate()
+    system.sim.run_until_idle()
+    commit = system.sim.trace.last("commit")
+    # P5 (on an MH) still pays the 2 s transfer, but the initiator's own
+    # save is instantaneous, so the commit comes after one transfer, not
+    # two serialized ones.
+    assert commit.time - t0 < 3.0
+
+
+def test_full_run_mixed_topology_consistent():
+    system = build(n=8, on_mss=3, seed=7)
+    workload = PointToPointWorkload(system, PointToPointWorkloadConfig(20.0))
+    runner = ExperimentRunner(
+        system, workload, RunConfig(max_initiations=4, warmup_initiations=1)
+    )
+    result = runner.run(max_events=5_000_000)
+    line = latest_permanent_line(system.all_stable_storages(), system.processes)
+    assert_line_consistent(system.sim.trace, line)
+    assert result.n_initiations == 3
+
+
+def test_all_processes_on_mss():
+    """Degenerate case: a fully static distributed system."""
+    system = build(n=4, on_mss=4)
+    workload = PointToPointWorkload(system, PointToPointWorkloadConfig(10.0))
+    runner = ExperimentRunner(
+        system, workload, RunConfig(max_initiations=3, warmup_initiations=1)
+    )
+    runner.run(max_events=2_000_000)
+    line = latest_permanent_line(system.all_stable_storages(), system.processes)
+    assert_line_consistent(system.sim.trace, line)
+    assert len(system.mhs) == 0

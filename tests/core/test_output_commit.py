@@ -1,0 +1,89 @@
+"""Tests for the §5.3 output-commit machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpointing.elnozahy import ElnozahyProtocol
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.core.config import PointToPointWorkloadConfig, SystemConfig
+from repro.core.output_commit import OutputCommitManager
+from repro.core.system import MobileSystem
+from repro.workload.point_to_point import PointToPointWorkload
+
+
+def build(protocol=None, n=6, seed=3):
+    system = MobileSystem(
+        SystemConfig(n_processes=n, seed=seed),
+        protocol if protocol is not None else MutableCheckpointProtocol(),
+    )
+    return system, OutputCommitManager(system)
+
+
+def warm(system, until=100.0, mean=5.0):
+    workload = PointToPointWorkload(system, PointToPointWorkloadConfig(mean))
+    workload.start()
+    system.sim.run(until=until)
+    workload.stop()
+    return workload
+
+
+def test_output_held_until_commit():
+    system, manager = build()
+    warm(system)
+    request = manager.request_output(2, payload="result=42")
+    assert not request.released
+    system.sim.run(until=system.sim.now + 120.0)
+    assert request.released
+    assert request.delay > 0
+    assert manager.outstanding == 0
+
+
+def test_delay_equals_checkpointing_duration():
+    """§5.3: output commit delay == duration of the checkpointing."""
+    system, manager = build()
+    warm(system)
+    request = manager.request_output(2)
+    system.sim.run(until=system.sim.now + 120.0)
+    commit = system.sim.trace.last("commit")
+    initiation = system.sim.trace.last("initiation")
+    assert request.delay == pytest.approx(commit.time - initiation.time, abs=0.2)
+
+
+def test_multiple_outputs_same_process():
+    system, manager = build()
+    warm(system)
+    first = manager.request_output(1, "a")
+    system.sim.run(until=system.sim.now + 120.0)
+    second = manager.request_output(1, "b")
+    system.sim.run(until=system.sim.now + 120.0)
+    assert first.released and second.released
+    assert manager.delay_summary().n == 2
+
+
+def test_busy_initiation_retries():
+    """An output requested while another checkpointing runs waits."""
+    system, manager = build()
+    warm(system)
+    assert system.protocol.processes[0].initiate()
+    request = manager.request_output(3)
+    system.sim.run(until=system.sim.now + 240.0)
+    assert request.released
+
+
+def test_centralized_protocol_routes_through_coordinator():
+    system, manager = build(protocol=ElnozahyProtocol(coordinator=0))
+    warm(system)
+    request = manager.request_output(4)  # p4 cannot initiate itself
+    system.sim.run(until=system.sim.now + 240.0)
+    assert request.released
+    assert request.trigger.pid == 0
+
+
+def test_released_output_traced():
+    system, manager = build()
+    warm(system)
+    manager.request_output(2)
+    system.sim.run(until=system.sim.now + 120.0)
+    assert system.sim.trace.count("output_requested", pid=2) == 1
+    assert system.sim.trace.count("output_released", pid=2) == 1

@@ -1,0 +1,70 @@
+"""Edge cases of output commit: aborts, sparse systems, many requests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpointing.failures import FailureInjector
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.core.config import PointToPointWorkloadConfig, SystemConfig
+from repro.core.output_commit import OutputCommitManager
+from repro.core.system import MobileSystem
+from repro.workload.point_to_point import PointToPointWorkload
+
+
+def build(n=6, seed=3):
+    system = MobileSystem(
+        SystemConfig(n_processes=n, seed=seed), MutableCheckpointProtocol()
+    )
+    return system, OutputCommitManager(system)
+
+
+def test_output_survives_aborted_checkpointing():
+    """If the releasing checkpointing aborts, the output retries and is
+    eventually released by the next successful one."""
+    system, manager = build()
+    workload = PointToPointWorkload(system, PointToPointWorkloadConfig(5.0))
+    workload.start()
+    system.sim.run(until=100.0)
+    request = manager.request_output(2, "precious")
+    # fail a participant almost immediately: the first attempt aborts
+    system.sim.run(until=system.sim.now + 0.3)
+    injector = FailureInjector(system)
+    victims = [
+        pid
+        for pid, proc in system.protocol.processes.items()
+        if proc.pending_tentative and pid != 2
+    ]
+    if victims:
+        injector.fail_process(victims[0])
+        injector.restart_process(victims[0])
+    system.sim.run(until=system.sim.now + 400.0)
+    workload.stop()
+    system.run_until_quiescent()
+    assert request.released
+    assert manager.outstanding == 0
+
+
+def test_output_with_no_dependencies_is_fast():
+    """A lone process's output commit needs only its own transfer."""
+    system, manager = build()
+    request = manager.request_output(1)
+    system.sim.run_until_idle()
+    assert request.released
+    # one 512 KB transfer at 2 Mbps plus control traffic
+    assert request.delay == pytest.approx(2.1, abs=0.2)
+
+
+def test_many_concurrent_requests_all_release():
+    system, manager = build(n=8, seed=5)
+    workload = PointToPointWorkload(system, PointToPointWorkloadConfig(5.0))
+    workload.start()
+    system.sim.run(until=60.0)
+    requests = [manager.request_output(pid) for pid in range(8)]
+    system.sim.run(until=system.sim.now + 1200.0)
+    workload.stop()
+    system.run_until_quiescent()
+    assert all(r.released for r in requests)
+    summary = manager.delay_summary()
+    assert summary.n == 8
+    assert summary.mean > 0

@@ -1,0 +1,48 @@
+"""Tests for the report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting import ReportScale, generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def quick_report() -> str:
+    return generate_report(ReportScale.quick())
+
+
+def test_report_contains_all_sections(quick_report):
+    for heading in (
+        "## Figure 5",
+        "## Figure 6",
+        "## Table 1",
+        "## Figures 1–4",
+        "## Theorem 3",
+    ):
+        assert heading in quick_report
+
+
+def test_report_tables_are_markdown(quick_report):
+    assert "| rate (msg/s) | tentative |" in quick_report
+    assert "|---:|" in quick_report
+
+
+def test_report_figures_rows(quick_report):
+    assert "| fig3 | True | 0 |" in quick_report
+    assert "| fig1 | False | 1 |" in quick_report
+
+
+def test_report_minimality_line(quick_report):
+    assert "committed initiations took exactly the required process set" in quick_report
+
+
+def test_write_report(tmp_path):
+    path = str(tmp_path / "report.md")
+    content = write_report(path, ReportScale.quick())
+    with open(path) as handle:
+        assert handle.read() == content
+
+
+def test_scales_differ():
+    assert ReportScale.quick().initiations < ReportScale.full().initiations

@@ -1,0 +1,58 @@
+"""Tests for run-result aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import InitiationStats
+from repro.checkpointing.types import Trigger
+from repro.core.results import RunResult
+
+
+def make_result():
+    stats = []
+    for i, (tent, mut, red) in enumerate([(4, 1, 1), (6, 2, 0), (5, 0, 0)]):
+        s = InitiationStats(
+            trigger=Trigger(i, 1),
+            initiation_time=float(i * 100),
+            commit_time=float(i * 100 + 2),
+            tentative_count=tent,
+            mutable_count=mut,
+            redundant_mutables=red,
+        )
+        stats.append(s)
+    return RunResult(
+        protocol="mutable",
+        n_processes=8,
+        seed=1,
+        initiations=stats,
+        counters={"system_messages": 30.0, "broadcasts": 3.0},
+        total_blocked_time=0.0,
+        sim_time=300.0,
+        wall_events=1000,
+    )
+
+
+def test_summaries():
+    r = make_result()
+    assert r.tentative_summary().mean == pytest.approx(5.0)
+    assert r.mutable_summary().mean == pytest.approx(1.0)
+    assert r.redundant_mutable_summary().mean == pytest.approx(1 / 3)
+    assert r.duration_summary().mean == pytest.approx(2.0)
+
+
+def test_redundant_ratio():
+    r = make_result()
+    assert r.redundant_ratio == pytest.approx(1 / 15)
+
+
+def test_redundant_ratio_empty():
+    r = RunResult(protocol="mutable", n_processes=8, seed=1)
+    assert r.redundant_ratio == 0.0
+
+
+def test_row_flattens():
+    row = make_result().row()
+    assert row["initiations"] == 3
+    assert row["tentative_mean"] == pytest.approx(5.0)
+    assert row["system_messages"] == 30.0

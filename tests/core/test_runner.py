@@ -1,0 +1,107 @@
+"""Tests for the experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.core.config import PointToPointWorkloadConfig, RunConfig, SystemConfig
+from repro.core.runner import ExperimentRunner
+from repro.core.system import MobileSystem
+from repro.workload.point_to_point import PointToPointWorkload
+
+
+def build_runner(seed=3, n=6, initiations=4, warmup=1, interval=900.0, **runner_kwargs):
+    config = SystemConfig(n_processes=n, seed=seed, checkpoint_interval=interval)
+    system = MobileSystem(config, MutableCheckpointProtocol())
+    workload = PointToPointWorkload(system, PointToPointWorkloadConfig(30.0))
+    runner = ExperimentRunner(
+        system,
+        workload,
+        RunConfig(max_initiations=initiations, warmup_initiations=warmup),
+        **runner_kwargs,
+    )
+    return system, runner
+
+
+def test_runs_to_initiation_target():
+    system, runner = build_runner(initiations=4)
+    result = runner.run(max_events=2_000_000)
+    assert runner.committed == 4
+    assert result.n_initiations == 3  # one warmup removed
+
+
+def test_workload_stops_after_target():
+    system, runner = build_runner(initiations=2)
+    runner.run(max_events=2_000_000)
+    assert not runner.workload.running
+
+
+def test_serialized_initiations_never_overlap():
+    system, runner = build_runner(initiations=5, interval=30.0)
+    runner.run(max_events=2_000_000)
+    # initiation i+1 starts only after commit i
+    events = [
+        (r.time, r.kind) for r in system.sim.trace if r.kind in ("initiation", "commit")
+    ]
+    depth = 0
+    for _, kind in events:
+        depth += 1 if kind == "initiation" else -1
+        assert depth <= 1
+
+
+def test_time_limit_stops_run():
+    system, runner = build_runner(initiations=1000, interval=50.0)
+    runner.run_config = RunConfig(max_initiations=1000, time_limit=500.0)
+    result = runner.run(max_events=2_000_000)
+    assert system.sim.now >= 500.0
+    assert runner.committed < 1000
+
+
+def test_result_contains_counters_and_times():
+    system, runner = build_runner(initiations=3)
+    result = runner.run(max_events=2_000_000)
+    assert result.protocol == "mutable"
+    assert result.counters["computation_messages"] > 0
+    assert result.sim_time > 0
+    assert result.wall_events > 0
+    row = result.row()
+    assert row["initiations"] == result.n_initiations
+
+
+def test_same_seed_reproducible():
+    def run():
+        _, runner = build_runner(seed=77, initiations=3)
+        result = runner.run(max_events=2_000_000)
+        return (
+            [s.tentative_count for s in result.initiations],
+            result.counters["computation_messages"],
+        )
+
+    assert run() == run()
+
+
+def test_different_seeds_differ():
+    def run(seed):
+        _, runner = build_runner(seed=seed, initiations=3)
+        result = runner.run(max_events=2_000_000)
+        return result.sim_time
+
+    assert run(1) != run(2)
+
+
+def test_forced_checkpoint_postpones_next_initiation():
+    """§5.1: a checkpoint taken early (forced by someone else's
+    initiation) pushes the process's next *initiation* one full interval
+    out. Forced checkpoints themselves may happen at any time."""
+    system, runner = build_runner(initiations=6, interval=100.0)
+    runner.run(max_events=2_000_000)
+    last_tentative = {}
+    for rec in system.sim.trace:
+        if rec.kind == "tentative":
+            last_tentative[rec["pid"]] = rec.time
+        elif rec.kind == "initiation":
+            pid = rec["pid"]
+            if pid in last_tentative:
+                gap = rec.time - last_tentative[pid]
+                assert gap >= 99.0, f"p{pid} initiated {gap:.1f}s after a checkpoint"

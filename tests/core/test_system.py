@@ -1,0 +1,68 @@
+"""Tests for the system builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.checkpointing.types import CheckpointKind
+from repro.core.config import SystemConfig
+from repro.core.system import MobileSystem
+from repro.errors import ConfigurationError
+
+
+def test_builds_paper_topology():
+    system = MobileSystem(SystemConfig(), MutableCheckpointProtocol())
+    assert len(system.mhs) == 16
+    assert len(system.mss_list) == 1
+    assert len(system.processes) == 16
+    assert len(system.protocol.processes) == 16
+
+
+def test_round_robin_cell_assignment():
+    system = MobileSystem(
+        SystemConfig(n_processes=4, n_mss=2), MutableCheckpointProtocol()
+    )
+    assert system.mss_for(0) is system.mss_list[0]
+    assert system.mss_for(1) is system.mss_list[1]
+    assert system.mss_for(2) is system.mss_list[0]
+
+
+def test_initial_permanent_checkpoints_exist():
+    system = MobileSystem(SystemConfig(n_processes=4), MutableCheckpointProtocol())
+    for pid in system.processes:
+        latest = system.stable_storage_for(pid).latest(pid, CheckpointKind.PERMANENT)
+        assert latest is not None
+        assert latest.csn == 0
+    assert system.sim.trace.count("permanent") == 4
+
+
+def test_process_lookup_and_errors():
+    system = MobileSystem(SystemConfig(n_processes=2), MutableCheckpointProtocol())
+    assert system.process(0).pid == 0
+    with pytest.raises(ConfigurationError):
+        system.process(5)
+
+
+def test_deliver_hook_invoked():
+    system = MobileSystem(SystemConfig(n_processes=2), MutableCheckpointProtocol())
+    seen = []
+    system.add_deliver_hook(lambda proc, msg: seen.append((proc.pid, msg.msg_id)))
+    system.processes[0].send_computation(1, payload="hi")
+    system.sim.run_until_idle()
+    assert len(seen) == 1
+    assert seen[0][0] == 1
+
+
+def test_all_stable_storages():
+    system = MobileSystem(
+        SystemConfig(n_processes=4, n_mss=2), MutableCheckpointProtocol()
+    )
+    assert len(system.all_stable_storages()) == 2
+
+
+def test_run_until_quiescent():
+    system = MobileSystem(SystemConfig(n_processes=2), MutableCheckpointProtocol())
+    system.processes[0].send_computation(1)
+    system.run_until_quiescent(extra_time=1.0)
+    assert system.processes[1].app_state["messages_received"] == 1

@@ -1,0 +1,82 @@
+"""Golden determinism fixtures.
+
+A fixed-seed run's trace is summarized into a stable digest; any change
+to protocol logic, event ordering, RNG streams, or timing constants
+shows up here first. The digest deliberately summarizes *behaviour*
+(event kinds, per-kind counts, checkpoint/commit structure) rather than
+raw bytes, so refactorings that don't change behaviour stay green while
+semantic changes fail loudly.
+
+If a change is intentional, update the expected values and note why in
+the commit — they are part of the repository's reproducibility contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.core.config import PointToPointWorkloadConfig, RunConfig, SystemConfig
+from repro.core.runner import ExperimentRunner
+from repro.core.system import MobileSystem
+from repro.workload.point_to_point import PointToPointWorkload
+
+
+def golden_run():
+    config = SystemConfig(n_processes=8, seed=20260707)
+    system = MobileSystem(config, MutableCheckpointProtocol())
+    workload = PointToPointWorkload(system, PointToPointWorkloadConfig(20.0))
+    runner = ExperimentRunner(
+        system, workload, RunConfig(max_initiations=5, warmup_initiations=1)
+    )
+    result = runner.run(max_events=10_000_000)
+    return system, result
+
+
+def behaviour_digest(system) -> str:
+    """Hash of the behavioural skeleton of the trace."""
+    skeleton = []
+    for record in system.sim.trace:
+        if record.kind in ("comp_send", "comp_recv"):
+            skeleton.append((record.kind, record["src"], record["dst"]))
+        elif record.kind in ("tentative", "mutable", "permanent", "initiation"):
+            skeleton.append((record.kind, record.get("pid"), record.get("trigger")))
+        elif record.kind in ("commit", "abort"):
+            skeleton.append((record.kind, record.get("trigger")))
+    return hashlib.sha256(repr(skeleton).encode()).hexdigest()[:16]
+
+
+def test_run_is_bit_stable():
+    a_system, a_result = golden_run()
+    b_system, b_result = golden_run()
+    assert behaviour_digest(a_system) == behaviour_digest(b_system)
+    assert a_result.sim_time == b_result.sim_time
+    assert a_result.wall_events == b_result.wall_events
+
+
+def test_golden_structure():
+    """Structural facts of the golden run (semantic regression lock)."""
+    system, result = golden_run()
+    kinds = Counter(r.kind for r in system.sim.trace)
+    # five committed initiations, each with one commit record
+    assert kinds["initiation"] == 5
+    assert kinds["commit"] == 5
+    # every tentative becomes permanent (plus 8 initial permanents)
+    assert kinds["permanent"] == kinds["tentative"] + 8
+    # message conservation at quiescence
+    assert kinds["comp_send"] == kinds["comp_recv"]
+    # the measured summary is stable
+    assert result.n_initiations == 4
+    assert 1 <= result.tentative_summary().mean <= 8
+
+
+def test_golden_digest_distinguishes_seeds():
+    system_a, _ = golden_run()
+    config = SystemConfig(n_processes=8, seed=1)
+    system_b = MobileSystem(config, MutableCheckpointProtocol())
+    workload = PointToPointWorkload(system_b, PointToPointWorkloadConfig(20.0))
+    ExperimentRunner(
+        system_b, workload, RunConfig(max_initiations=5, warmup_initiations=1)
+    ).run(max_events=10_000_000)
+    assert behaviour_digest(system_a) != behaviour_digest(system_b)

@@ -1,0 +1,81 @@
+"""The §6 storage claim, monitored continuously.
+
+"In the coordinated checkpointing algorithm presented in this paper,
+most of the time, each process needs to store only one permanent
+checkpoint on the stable storage and at most two checkpoints: a
+permanent and a tentative (or mutable) checkpoint only for the duration
+of the checkpointing."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.checkpointing.types import CheckpointKind
+from repro.core.config import PointToPointWorkloadConfig, RunConfig, SystemConfig
+from repro.core.runner import ExperimentRunner
+from repro.core.system import MobileSystem
+from repro.workload.point_to_point import PointToPointWorkload
+
+
+def run_with_probe(seed=9, n=8, initiations=6):
+    config = SystemConfig(n_processes=n, seed=seed)
+    system = MobileSystem(config, MutableCheckpointProtocol())
+    workload = PointToPointWorkload(system, PointToPointWorkloadConfig(15.0))
+    runner = ExperimentRunner(
+        system, workload, RunConfig(max_initiations=initiations, warmup_initiations=1)
+    )
+    max_stable = {pid: 0 for pid in system.processes}
+    max_with_mutable = {pid: 0 for pid in system.processes}
+
+    def probe():
+        for pid in system.processes:
+            storage = system.stable_storage_for(pid)
+            stable = len(storage.checkpoints_of(pid))
+            local = len(system.processes[pid].local_store)
+            max_stable[pid] = max(max_stable[pid], stable)
+            max_with_mutable[pid] = max(max_with_mutable[pid], stable + local)
+        system.sim.schedule(1.0, probe)
+
+    system.sim.schedule(0.5, probe)
+    runner.run(max_events=20_000_000)
+    return system, max_stable, max_with_mutable
+
+
+def test_at_most_two_stable_checkpoints_per_process():
+    """One permanent plus, transiently, one tentative."""
+    _, max_stable, _ = run_with_probe()
+    assert max(max_stable.values()) <= 2
+
+
+def test_steady_state_is_one_permanent():
+    system, _, _ = run_with_probe()
+    for pid in system.processes:
+        records = system.stable_storage_for(pid).checkpoints_of(pid)
+        assert len(records) == 1
+        assert records[0].kind is CheckpointKind.PERMANENT
+
+
+def test_local_store_bounded_by_one_mutable_when_serialized():
+    """With serialized initiations at most one mutable is live at once."""
+    _, _, max_with_mutable = run_with_probe()
+    assert max(max_with_mutable.values()) <= 3  # perm + tent + one mutable
+
+
+def test_uncoordinated_storage_grows_without_bound_in_contrast():
+    """The §6 contrast: the uncoordinated baseline accumulates history."""
+    from repro.checkpointing.uncoordinated import UncoordinatedProtocol
+
+    config = SystemConfig(n_processes=4, seed=9)
+    system = MobileSystem(config, UncoordinatedProtocol())
+    workload = PointToPointWorkload(system, PointToPointWorkloadConfig(5.0))
+    workload.start()
+    system.sim.run(until=400.0)
+    workload.stop()
+    system.run_until_quiescent()
+    per_process = [
+        len(system.stable_storage_for(pid).checkpoints_of(pid))
+        for pid in system.processes
+    ]
+    assert max(per_process) > 5

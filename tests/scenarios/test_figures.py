@@ -1,0 +1,62 @@
+"""The paper's Figs. 1-4 as executable assertions."""
+
+from __future__ import annotations
+
+from repro.scenarios.figures import (
+    figure1,
+    figure2,
+    figure2_with_mutable,
+    figure3,
+    figure4,
+)
+
+
+def test_figure1_naive_protocol_creates_orphan():
+    """Fig. 1: m1 is an orphan under naive nonblocking coordination."""
+    r = figure1()
+    assert not r.consistent
+    assert len(r.orphan_msg_ids) == 1
+
+
+def test_figure2_impossibility_without_mutable_checkpoints():
+    """§2.4: P2 cannot know to checkpoint before m5 — inconsistency."""
+    r = figure2()
+    assert not r.consistent
+    assert len(r.orphan_msg_ids) == 1
+
+
+def test_figure2_mutable_checkpoint_absorbs_impossibility():
+    """The same ordering with the paper's algorithm: P2's mutable
+    checkpoint is promoted; no orphan."""
+    r = figure2_with_mutable()
+    assert r.consistent
+    assert r.mutable_taken == 1
+    assert r.mutable_promoted == 1
+    assert r.mutable_discarded == 0
+
+
+def test_figure3_worked_example():
+    """§3.4: three mutable checkpoints — two promoted (C_{1,1}, C_{3,1}),
+    one redundant (C_{1,2}) discarded at P0's commit."""
+    r = figure3()
+    assert r.consistent
+    assert r.mutable_taken == 3
+    assert r.mutable_promoted == 2
+    assert r.mutable_discarded == 1
+    # P2's initiation: P2+P4+P1+P3; P0's initiation: only P0 = 5 total
+    assert r.tentative_counts["tentative"] == 5
+
+
+def test_figure4_stale_request_suppressed():
+    """§3.1.3: P3's request carries req_csn behind P2's checkpoint, so
+    C_{2,2} and C_{1,2} are never taken."""
+    r = figure4()
+    assert r.consistent
+    assert r.tentative_counts["second_initiation_tentatives"] == 1
+
+
+def test_all_figures_deterministic():
+    """Scenario outcomes are bit-for-bit repeatable."""
+    a, b = figure3(), figure3()
+    assert a.tentative_counts == b.tentative_counts
+    assert a.mutable_taken == b.mutable_taken

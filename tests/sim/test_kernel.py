@@ -1,0 +1,183 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScheduleInPastError, SimulationError
+from repro.sim.kernel import Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+    assert sim.events_processed == 0
+
+
+def test_schedule_and_run_in_time_order(sim):
+    order = []
+    sim.schedule(2.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(3.0, order.append, "c")
+    sim.run_until_idle()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fifo(sim):
+    """Events at the same timestamp fire in scheduling order."""
+    order = []
+    for tag in range(10):
+        sim.schedule(1.0, order.append, tag)
+    sim.run_until_idle()
+    assert order == list(range(10))
+
+
+def test_zero_delay_allowed(sim):
+    fired = []
+    sim.schedule(0.0, fired.append, 1)
+    sim.run_until_idle()
+    assert fired == [1]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(ScheduleInPastError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected(sim):
+    sim.schedule(5.0, lambda: None)
+    sim.run_until_idle()
+    with pytest.raises(ScheduleInPastError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run_until_idle()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run_until_idle()
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(10.0, fired.append, "late")
+    sim.run(until=5.0)
+    assert fired == ["early"]
+    assert sim.now == 5.0
+    sim.run_until_idle()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_processes_events_at_exact_boundary(sim):
+    fired = []
+    sim.schedule(5.0, fired.append, "boundary")
+    sim.run(until=5.0)
+    assert fired == ["boundary"]
+
+
+def test_run_advances_clock_to_until_even_when_idle(sim):
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_events_scheduled_during_run_are_processed(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(1.0, order.append, "second")
+
+    sim.schedule(1.0, first)
+    sim.run_until_idle()
+    assert order == ["first", "second"]
+
+
+def test_max_events_guard(sim):
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_step_returns_false_when_empty(sim):
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_step_skips_cancelled(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    assert sim.step() is False
+
+
+def test_reentrant_run_rejected(sim):
+    def inner():
+        sim.run()
+
+    sim.schedule(1.0, inner)
+    with pytest.raises(SimulationError):
+        sim.run_until_idle()
+
+
+def test_events_processed_counts(sim):
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run_until_idle()
+    assert sim.events_processed == 5
+
+
+def test_determinism_across_instances():
+    """Identical schedules produce identical execution orders."""
+
+    def run_once():
+        s = Simulator()
+        order = []
+        s.schedule(1.0, order.append, 1)
+        s.schedule(1.0, order.append, 2)
+        s.schedule(0.5, order.append, 3)
+        s.schedule(1.5, order.append, 4)
+        s.run_until_idle()
+        return order
+
+    assert run_once() == run_once() == [3, 1, 2, 4]
+
+
+def test_timer_restart_and_cancel(sim):
+    fired = []
+    timer = sim.timer(lambda: fired.append(sim.now))
+    timer.start(5.0)
+    assert timer.pending
+    timer.restart(2.0)
+    sim.run_until_idle()
+    assert fired == [2.0]
+    assert not timer.pending
+
+
+def test_timer_double_start_rejected(sim):
+    timer = sim.timer(lambda: None)
+    timer.start(1.0)
+    with pytest.raises(RuntimeError):
+        timer.start(2.0)
+
+
+def test_timer_cancel_prevents_firing(sim):
+    fired = []
+    timer = sim.timer(lambda: fired.append(1))
+    timer.start(1.0)
+    timer.cancel()
+    sim.run_until_idle()
+    assert fired == []

@@ -1,0 +1,96 @@
+"""Tests for counters, tallies, and time series."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.monitor import Monitor, Tally
+
+
+def test_tally_empty():
+    t = Tally()
+    assert t.count == 0
+    assert t.mean == 0.0
+    assert t.variance == 0.0
+
+
+def test_tally_mean_and_variance():
+    t = Tally()
+    for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+        t.observe(x)
+    assert t.mean == pytest.approx(5.0)
+    assert t.stdev == pytest.approx(2.138, abs=1e-3)
+    assert t.minimum == 2.0
+    assert t.maximum == 9.0
+
+
+def test_tally_single_sample_variance_zero():
+    t = Tally()
+    t.observe(3.0)
+    assert t.variance == 0.0
+
+
+def test_counter_increment():
+    m = Monitor()
+    m.increment("x")
+    m.increment("x", 2.5)
+    assert m.counter("x") == 3.5
+    assert m.counter("missing") == 0.0
+
+
+def test_counters_snapshot_is_copy():
+    m = Monitor()
+    m.increment("x")
+    snap = m.counters()
+    snap["x"] = 99
+    assert m.counter("x") == 1
+
+
+def test_observe_and_tally():
+    m = Monitor()
+    m.observe("lat", 1.0)
+    m.observe("lat", 3.0)
+    assert m.tally("lat").mean == 2.0
+
+
+def test_series():
+    m = Monitor()
+    m.sample("q", 0.0, 1.0)
+    m.sample("q", 1.0, 2.0)
+    assert m.series("q") == [(0.0, 1.0), (1.0, 2.0)]
+    assert m.series("none") == []
+
+
+def test_merge_counters_and_tallies():
+    a, b = Monitor(), Monitor()
+    a.increment("x", 1)
+    b.increment("x", 2)
+    for v in (1.0, 2.0, 3.0):
+        a.observe("t", v)
+    for v in (4.0, 5.0):
+        b.observe("t", v)
+    a.merge(b)
+    assert a.counter("x") == 3
+    merged = a.tally("t")
+    assert merged.count == 5
+    assert merged.mean == pytest.approx(3.0)
+    # variance of {1..5} is 2.5
+    assert merged.variance == pytest.approx(2.5)
+    assert merged.minimum == 1.0 and merged.maximum == 5.0
+
+
+def test_merge_with_empty_tally():
+    a, b = Monitor(), Monitor()
+    a.observe("t", 2.0)
+    a.merge(b)
+    assert a.tally("t").count == 1
+
+
+def test_merge_series_concatenates():
+    a, b = Monitor(), Monitor()
+    a.sample("s", 0.0, 1.0)
+    b.sample("s", 1.0, 2.0)
+    a.merge(b)
+    assert len(a.series("s")) == 2

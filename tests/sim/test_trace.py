@@ -1,0 +1,92 @@
+"""Tests for the structured trace log."""
+
+from __future__ import annotations
+
+from repro.sim.trace import TraceLog
+
+
+def make_log() -> TraceLog:
+    log = TraceLog()
+    log.record(0.0, "send", src=1, dst=2)
+    log.record(1.0, "recv", src=1, dst=2)
+    log.record(2.0, "send", src=2, dst=1)
+    log.record(3.0, "checkpoint", pid=1)
+    return log
+
+
+def test_append_and_len():
+    log = make_log()
+    assert len(log) == 4
+
+
+def test_of_kind():
+    log = make_log()
+    assert len(log.of_kind("send")) == 2
+    assert len(log.of_kind("send", "recv")) == 3
+
+
+def test_where_with_conditions():
+    log = make_log()
+    assert len(log.where("send", src=1)) == 1
+    assert log.where("send", src=3) == []
+
+
+def test_where_missing_field_never_matches():
+    log = make_log()
+    assert log.where("send", nonexistent=1) == []
+
+
+def test_count():
+    log = make_log()
+    assert log.count("send") == 2
+    assert log.count("send", src=2) == 1
+
+
+def test_last():
+    log = make_log()
+    assert log.last("send").time == 2.0
+    assert log.last("nothing") is None
+
+
+def test_between():
+    log = make_log()
+    assert [r.kind for r in log.between(1.0, 2.0)] == ["recv", "send"]
+
+
+def test_kinds_first_seen_order():
+    log = make_log()
+    assert log.kinds() == ("send", "recv", "checkpoint")
+
+
+def test_disabled_log_records_nothing():
+    log = TraceLog(enabled=False)
+    log.record(0.0, "send")
+    assert len(log) == 0
+
+
+def test_subscriber_sees_records():
+    log = TraceLog()
+    seen = []
+    log.subscribe(lambda r: seen.append(r.kind))
+    log.record(0.0, "a")
+    log.record(1.0, "b")
+    assert seen == ["a", "b"]
+
+
+def test_record_getitem_and_get():
+    log = make_log()
+    rec = log.of_kind("checkpoint")[0]
+    assert rec["pid"] == 1
+    assert rec.get("missing") is None
+    assert rec.get("missing", 7) == 7
+
+
+def test_clear_keeps_subscribers():
+    log = TraceLog()
+    seen = []
+    log.subscribe(lambda r: seen.append(r.kind))
+    log.record(0.0, "a")
+    log.clear()
+    assert len(log) == 0
+    log.record(1.0, "b")
+    assert seen == ["a", "b"]
