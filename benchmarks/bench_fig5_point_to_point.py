@@ -8,19 +8,30 @@ Paper shape to reproduce:
 * redundant mutable checkpoints rise and then fall, always a small
   fraction (< 4 %) of the tentative count.
 
-Each bench is one x-axis point; ``extra_info`` carries the measured
-series so ``--benchmark-json`` output contains the whole figure.
+The sweep runs as a campaign: each rate is one
+:class:`~repro.campaign.spec.RunPoint` and the whole figure executes
+through :class:`~repro.campaign.engine.CampaignEngine` — the same
+substrate as ``repro-sim campaign --preset fig5`` — so the printed rows
+line up with EXPERIMENTS.md and with the CLI output.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.bench_util import describe, run_point_to_point
-from repro.checkpointing.mutable import MutableCheckpointProtocol
+from benchmarks.bench_util import describe, p2p_point, run_point_to_point, run_points
 
 #: the swept x axis: messages per second per process
 RATES = [0.002, 0.005, 0.01, 0.02, 0.05, 0.1]
+
+
+def fig5_points(initiations=None, rates=RATES):
+    """The Fig. 5 sweep as campaign run points, one per rate."""
+    kwargs = {} if initiations is None else {"initiations": initiations}
+    return [
+        p2p_point(protocol="mutable", mean_send_interval=1.0 / rate, **kwargs)
+        for rate in rates
+    ]
 
 
 @pytest.mark.parametrize("rate", RATES)
@@ -28,9 +39,7 @@ def test_fig5_point_to_point(benchmark, rate):
     mean_interval = 1.0 / rate
 
     def run():
-        return run_point_to_point(
-            MutableCheckpointProtocol(), mean_send_interval=mean_interval
-        )
+        return run_point_to_point("mutable", mean_send_interval=mean_interval)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     row = describe(result)
@@ -42,19 +51,12 @@ def test_fig5_point_to_point(benchmark, rate):
 
 
 def test_fig5_shape_summary(benchmark):
-    """One pass over the whole sweep asserting the paper's shape:
+    """One campaign over the whole sweep asserting the paper's shape:
     tentative count is (weakly) increasing in the send rate."""
 
     def sweep():
-        rows = []
-        for rate in RATES:
-            result = run_point_to_point(
-                MutableCheckpointProtocol(),
-                mean_send_interval=1.0 / rate,
-                initiations=12,
-            )
-            rows.append((rate, describe(result)))
-        return rows
+        results = run_points(fig5_points(initiations=12), workers=2)
+        return [(rate, describe(r)) for rate, r in zip(RATES, results)]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print("\nFig5 sweep:")

@@ -6,17 +6,41 @@ Four groups of four processes, leaders-only intergroup traffic at
 Paper shape to reproduce: both tentative and redundant-mutable counts
 are lower than the point-to-point environment at the same rate, and the
 10000x-ratio counts are lower than the 1000x ones.
+
+Like Fig. 5, the sweep is a campaign: the group × ratio × rate grid
+plus the point-to-point baseline run as one point list through
+:class:`~repro.campaign.engine.CampaignEngine`.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.bench_util import describe, run_group, run_point_to_point
-from repro.checkpointing.mutable import MutableCheckpointProtocol
+from benchmarks.bench_util import (
+    describe,
+    group_point,
+    p2p_point,
+    run_group,
+    run_points,
+)
 
 RATES = [0.005, 0.01, 0.02, 0.05]
 RATIOS = [1_000.0, 10_000.0]
+
+
+def fig6_points(initiations=None, rates=RATES, ratios=RATIOS):
+    """The Fig. 6 grid (ratio-major, rate-minor) as campaign points."""
+    kwargs = {} if initiations is None else {"initiations": initiations}
+    return [
+        group_point(
+            protocol="mutable",
+            mean_send_interval=1.0 / rate,
+            intra_inter_ratio=ratio,
+            **kwargs,
+        )
+        for ratio in ratios
+        for rate in rates
+    ]
 
 
 @pytest.mark.parametrize("ratio", RATIOS)
@@ -24,9 +48,7 @@ RATIOS = [1_000.0, 10_000.0]
 def test_fig6_group(benchmark, rate, ratio):
     def run():
         return run_group(
-            MutableCheckpointProtocol(),
-            mean_send_interval=1.0 / rate,
-            intra_inter_ratio=ratio,
+            "mutable", mean_send_interval=1.0 / rate, intra_inter_ratio=ratio
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -40,29 +62,23 @@ def test_fig6_shape_summary(benchmark):
     """Group counts < point-to-point counts; 10000x < 1000x."""
 
     def sweep():
-        rows = {}
-        for ratio in RATIOS:
-            rows[ratio] = [
-                describe(
-                    run_group(
-                        MutableCheckpointProtocol(),
-                        mean_send_interval=1.0 / rate,
-                        intra_inter_ratio=ratio,
-                        initiations=12,
-                    )
-                )
-                for rate in RATES
-            ]
-        rows["p2p"] = [
-            describe(
-                run_point_to_point(
-                    MutableCheckpointProtocol(),
+        group_results = run_points(fig6_points(initiations=12), workers=2)
+        p2p_results = run_points(
+            [
+                p2p_point(
+                    protocol="mutable",
                     mean_send_interval=1.0 / rate,
                     initiations=12,
                 )
-            )
-            for rate in RATES
-        ]
+                for rate in RATES
+            ],
+            workers=2,
+        )
+        rows = {}
+        for i, ratio in enumerate(RATIOS):
+            block = group_results[i * len(RATES) : (i + 1) * len(RATES)]
+            rows[ratio] = [describe(r) for r in block]
+        rows["p2p"] = [describe(r) for r in p2p_results]
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -1,37 +1,115 @@
-"""Shared helpers for the benchmark suite.
+"""Shared helpers for the benchmark suite, built on ``repro.campaign``.
 
 Each bench regenerates one of the paper's tables or figures on a scale
 that runs in seconds. Absolute numbers differ from the paper's 1999
 testbed; the *shape* assertions (who wins, monotonicity, crossovers) are
 checked by the test suite — benches print the rows so the results can be
 compared with the paper side by side (see EXPERIMENTS.md).
+
+All execution flows through the campaign engine's point runtime: a
+bench data point is a :class:`~repro.campaign.spec.RunPoint`, and the
+sweep benches (Figs. 5/6) run whole :class:`CampaignSpec` grids through
+:class:`CampaignEngine`. ``run_point_to_point``/``run_group`` remain
+for benches that vary protocol *constructor arguments*: they accept a
+protocol instance and inject it into the same point runtime.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.campaign.engine import CampaignEngine, run_point
+from repro.campaign.spec import CampaignSpec, RunPoint
 from repro.checkpointing.protocol import CheckpointProtocol
-from repro.core.config import (
-    GroupWorkloadConfig,
-    PointToPointWorkloadConfig,
-    RunConfig,
-    SystemConfig,
-)
 from repro.core.results import RunResult
-from repro.core.runner import ExperimentRunner
-from repro.core.system import MobileSystem
-from repro.workload.group import GroupWorkload
-from repro.workload.point_to_point import PointToPointWorkload
 
 #: initiations measured per data point (paper: "a large number of
 #: samples"; enough here for stable means at bench runtimes)
 DEFAULT_INITIATIONS = 22
 DEFAULT_WARMUP = 2
 
+#: runaway guard shared by every bench point
+BENCH_MAX_EVENTS = 50_000_000
+
+
+def _resolve_protocol(
+    protocol: Union[str, CheckpointProtocol],
+) -> Tuple[str, Optional[CheckpointProtocol]]:
+    """A registry name plus an optional pre-built instance to inject."""
+    if isinstance(protocol, str):
+        return protocol, None
+    return protocol.name, protocol
+
+
+def p2p_point(
+    protocol: str = "mutable",
+    mean_send_interval: float = 100.0,
+    seed: int = 11,
+    n_processes: int = 16,
+    initiations: int = DEFAULT_INITIATIONS,
+    trace_messages: bool = False,
+    **config_kwargs,
+) -> RunPoint:
+    """One Fig. 5-style data point as a campaign run point."""
+    return RunPoint(
+        protocol=protocol,
+        workload="p2p",
+        workload_params={"mean_send_interval": mean_send_interval},
+        system_params={
+            "n_processes": n_processes,
+            "trace_messages": trace_messages,
+            **config_kwargs,
+        },
+        run_params={
+            "max_initiations": initiations,
+            "warmup_initiations": DEFAULT_WARMUP,
+        },
+        seed=seed,
+        max_events=BENCH_MAX_EVENTS,
+    )
+
+
+def group_point(
+    protocol: str = "mutable",
+    mean_send_interval: float = 100.0,
+    intra_inter_ratio: float = 1000.0,
+    seed: int = 11,
+    n_processes: int = 16,
+    initiations: int = DEFAULT_INITIATIONS,
+) -> RunPoint:
+    """One Fig. 6-style data point as a campaign run point."""
+    return RunPoint(
+        protocol=protocol,
+        workload="group",
+        workload_params={
+            "mean_send_interval": mean_send_interval,
+            "n_groups": 4,
+            "intra_inter_ratio": intra_inter_ratio,
+        },
+        system_params={"n_processes": n_processes, "trace_messages": False},
+        run_params={
+            "max_initiations": initiations,
+            "warmup_initiations": DEFAULT_WARMUP,
+        },
+        seed=seed,
+        max_events=BENCH_MAX_EVENTS,
+    )
+
+
+def run_points(
+    points: List[RunPoint], workers: int = 1
+) -> List[RunResult]:
+    """Run bench points through the campaign engine, in point order."""
+    report = CampaignEngine(points, workers=workers).run()
+    for record in report.failed:
+        raise RuntimeError(
+            f"bench point {record.point_hash} failed: {record.error}"
+        )
+    return report.results()
+
 
 def run_point_to_point(
-    protocol: CheckpointProtocol,
+    protocol: Union[str, CheckpointProtocol],
     mean_send_interval: float,
     seed: int = 11,
     n_processes: int = 16,
@@ -39,50 +117,44 @@ def run_point_to_point(
     trace_messages: bool = False,
     **config_kwargs,
 ) -> RunResult:
-    """One Fig. 5-style data point."""
-    config = SystemConfig(
-        n_processes=n_processes,
+    """One Fig. 5-style data point.
+
+    ``protocol`` may be a registry name (preferred; the point is then
+    fully declarative) or a pre-built instance for variants that only
+    exist as constructor arguments.
+    """
+    name, instance = _resolve_protocol(protocol)
+    point = p2p_point(
+        protocol=name,
+        mean_send_interval=mean_send_interval,
         seed=seed,
+        n_processes=n_processes,
+        initiations=initiations,
         trace_messages=trace_messages,
         **config_kwargs,
     )
-    system = MobileSystem(config, protocol)
-    workload = PointToPointWorkload(
-        system, PointToPointWorkloadConfig(mean_send_interval)
-    )
-    runner = ExperimentRunner(
-        system,
-        workload,
-        RunConfig(max_initiations=initiations, warmup_initiations=DEFAULT_WARMUP),
-    )
-    return runner.run(max_events=50_000_000)
+    return run_point(point, protocol=instance)
 
 
 def run_group(
-    protocol: CheckpointProtocol,
+    protocol: Union[str, CheckpointProtocol],
     mean_send_interval: float,
     intra_inter_ratio: float,
     seed: int = 11,
     n_processes: int = 16,
     initiations: int = DEFAULT_INITIATIONS,
 ) -> RunResult:
-    """One Fig. 6-style data point."""
-    config = SystemConfig(n_processes=n_processes, seed=seed, trace_messages=False)
-    system = MobileSystem(config, protocol)
-    workload = GroupWorkload(
-        system,
-        GroupWorkloadConfig(
-            mean_send_interval=mean_send_interval,
-            n_groups=4,
-            intra_inter_ratio=intra_inter_ratio,
-        ),
+    """One Fig. 6-style data point (see ``run_point_to_point``)."""
+    name, instance = _resolve_protocol(protocol)
+    point = group_point(
+        protocol=name,
+        mean_send_interval=mean_send_interval,
+        intra_inter_ratio=intra_inter_ratio,
+        seed=seed,
+        n_processes=n_processes,
+        initiations=initiations,
     )
-    runner = ExperimentRunner(
-        system,
-        workload,
-        RunConfig(max_initiations=initiations, warmup_initiations=DEFAULT_WARMUP),
-    )
-    return runner.run(max_events=50_000_000)
+    return run_point(point, protocol=instance)
 
 
 def describe(result: RunResult) -> Dict[str, float]:

@@ -48,6 +48,28 @@ class InitiationStats:
             return None
         return end - self.initiation_time
 
+    def to_dict(self) -> Dict:
+        """A JSON-serializable representation (lossless; see ``from_dict``)."""
+        return {
+            "trigger": list(self.trigger),
+            "initiation_time": self.initiation_time,
+            "commit_time": self.commit_time,
+            "abort_time": self.abort_time,
+            "tentative_count": self.tentative_count,
+            "mutable_count": self.mutable_count,
+            "promoted_mutables": self.promoted_mutables,
+            "redundant_mutables": self.redundant_mutables,
+            "permanent_count": self.permanent_count,
+            "participants": list(self.participants),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "InitiationStats":
+        """Inverse of :meth:`to_dict`."""
+        fields_ = dict(data)
+        fields_["trigger"] = Trigger(*fields_["trigger"])
+        return cls(**fields_)
+
 
 def per_initiation_stats(trace: TraceLog) -> Dict[Trigger, InitiationStats]:
     """Fold the trace into one :class:`InitiationStats` per initiation."""

@@ -1,0 +1,46 @@
+"""Content-addressed identity for campaign points.
+
+A campaign result store never trusts positions: every run point is keyed
+by a SHA-256 hash of its canonical JSON spec, so resuming a campaign,
+reordering axes, or merging stores can never attach a result to the
+wrong point. Per-point seeds are likewise *derived* from the campaign
+master seed and the point's identity — not from its position in the
+grid — so adding an axis value, shuffling the expansion order, or
+splitting the grid across ``workers=N`` processes changes nothing about
+any individual point's random streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+#: hex digest length used for point keys; 16 bytes of SHA-256 is far
+#: beyond collision risk for any conceivable campaign size
+HASH_CHARS = 32
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, compact separators, no NaN."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def spec_hash(obj: Any) -> str:
+    """Content hash of a JSON-serializable spec (the store key)."""
+    digest = hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+    return digest[:HASH_CHARS]
+
+
+def derive_seed(campaign_seed: int, identity: Any) -> int:
+    """Deterministic per-point seed from the campaign seed + identity.
+
+    ``identity`` is the point's spec *without* the seed field. The result
+    is stable across processes, Python versions, and expansion order, so
+    a campaign run with ``workers=N`` is bit-identical to ``workers=1``.
+    """
+    material = f"{campaign_seed}|{canonical_json(identity)}".encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31 - 1)

@@ -1,0 +1,245 @@
+"""Campaign engine: fan run points out over a worker pool.
+
+Workers receive only the picklable :class:`RunPoint` dict and rebuild
+the full :class:`~repro.core.system.MobileSystem` from it, so every
+point is hermetic: its result depends only on its own spec (including
+its content-derived seed), never on which worker ran it or in what
+order. That is what makes ``workers=N`` bit-identical to ``workers=1``.
+
+Failure policy: a crashing point is recorded in the store as ``failed``
+and retried exactly once; a second failure stays in the store (with the
+error and traceback) and the campaign carries on — one pathological
+point cannot sink a thousand-point sweep. Completed points found in the
+store are skipped, which is the resume path after a crash or Ctrl-C.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.cache import spec_hash
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import WORKLOAD_KINDS, CampaignSpec, RunPoint
+from repro.campaign.store import PointRecord, ResultStore
+from repro.checkpointing.protocol import CheckpointProtocol
+from repro.core.config import RunConfig, SystemConfig
+from repro.core.registry import build_protocol
+from repro.core.results import RunResult
+from repro.core.runner import ExperimentRunner
+from repro.core.system import MobileSystem
+from repro.workload.base import Workload
+
+
+def build_point_runtime(
+    point: RunPoint, protocol: Optional[CheckpointProtocol] = None
+) -> Tuple[MobileSystem, Workload, ExperimentRunner]:
+    """Rebuild system + workload + runner from a point's plain-data spec.
+
+    ``protocol`` overrides the registry lookup with an already-built
+    instance — the in-process escape hatch benches use for protocol
+    variants that only exist as constructor arguments.
+    """
+    if protocol is None:
+        protocol = build_protocol(point.protocol, **point.protocol_params)
+    config = SystemConfig.from_params(point.system_params, seed=point.seed)
+    system = MobileSystem(config, protocol)
+    workload_config_cls, workload_cls = WORKLOAD_KINDS[point.workload]
+    workload = workload_cls(system, workload_config_cls(**point.workload_params))
+    runner = ExperimentRunner(system, workload, RunConfig(**point.run_params))
+    return system, workload, runner
+
+
+def run_point(
+    point: RunPoint, protocol: Optional[CheckpointProtocol] = None
+) -> RunResult:
+    """Execute one point in-process and return its :class:`RunResult`."""
+    _, _, runner = build_point_runtime(point, protocol=protocol)
+    return runner.run(max_events=point.max_events)
+
+
+def execute_point(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one point dict, never raise.
+
+    Module-level so it pickles into :mod:`multiprocessing` workers. The
+    returned dict is a :class:`PointRecord` minus the ``attempts`` field,
+    which only the engine knows.
+    """
+    started = time.perf_counter()
+    point_dict = dict(payload)
+    point_hash = spec_hash(point_dict)
+    try:
+        point = RunPoint.from_dict(point_dict)
+        result = run_point(point)
+        return {
+            "point_hash": point_hash,
+            "status": "ok",
+            "point": point.to_dict(),
+            "result": result.to_dict(),
+            "wall_time": time.perf_counter() - started,
+        }
+    except Exception as exc:  # noqa: BLE001 — failures become records
+        return {
+            "point_hash": point_hash,
+            "status": "failed",
+            "point": point_dict,
+            "error": f"{type(exc).__name__}: {exc}",
+            "meta": {"traceback": traceback.format_exc()},
+            "wall_time": time.perf_counter() - started,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """What a campaign run did, with records in spec (grid) order."""
+
+    name: str
+    points: List[RunPoint] = field(default_factory=list)
+    records: List[PointRecord] = field(default_factory=list)
+    executed: int = 0
+    skipped: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return len(self.points)
+
+    @property
+    def failed(self) -> List[PointRecord]:
+        return [r for r in self.records if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def results(self) -> List[RunResult]:
+        """Rehydrated results of the successful points, in grid order."""
+        return [r.run_result() for r in self.records if r.ok]
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """One flat dict per point: identity + the paper's metrics."""
+        rows = []
+        for point, record in zip(self.points, self.records):
+            row: Dict[str, Any] = {
+                "hash": record.point_hash,
+                "label": point.label(),
+                "status": record.status,
+                "wall_time": round(record.wall_time, 3),
+            }
+            if record.ok:
+                result = record.run_result()
+                row.update(
+                    {
+                        "tentative_mean": round(
+                            result.tentative_summary().mean, 3
+                        ),
+                        "redundant_mutable_mean": round(
+                            result.redundant_mutable_summary().mean, 4
+                        ),
+                        "redundant_ratio": round(result.redundant_ratio, 4),
+                        "duration_s": round(result.duration_summary().mean, 3),
+                        "initiations": result.n_initiations,
+                    }
+                )
+            else:
+                row["error"] = record.error
+            rows.append(row)
+        return rows
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    # fork is cheapest and fully deterministic here (workers rebuild all
+    # state from the point spec); spawn is the portable fallback.
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class CampaignEngine:
+    """Expand a spec, skip completed points, fan the rest out, persist."""
+
+    def __init__(
+        self,
+        spec: Union[CampaignSpec, Sequence[RunPoint]],
+        store: Optional[ResultStore] = None,
+        workers: int = 1,
+        progress: Optional[ProgressReporter] = None,
+        quiet: bool = True,
+    ) -> None:
+        if isinstance(spec, CampaignSpec):
+            self.name = spec.name
+            self.points = spec.expand()
+        else:
+            self.name = "adhoc"
+            self.points = list(spec)
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.store = store if store is not None else ResultStore()
+        self.workers = workers
+        self.progress = progress or ProgressReporter(
+            total=len(self.points), workers=workers, enabled=not quiet
+        )
+
+    def run(self) -> CampaignReport:
+        """Run every point not already in the store; return the report."""
+        completed = self.store.completed_hashes()
+        pending = [p for p in self.points if p.point_hash not in completed]
+        self.progress.total = len(self.points)
+        self.progress.start(skipped=len(self.points) - len(pending))
+
+        outcomes: Dict[str, PointRecord] = {}
+        labels = {p.point_hash: p.label() for p in self.points}
+        for raw in self._execute(pending):
+            record = self._record_outcome(raw, attempts=1)
+            if not record.ok:
+                record = self._retry(record)
+            outcomes[record.point_hash] = record
+            self.progress.point_done(
+                labels.get(record.point_hash, record.point_hash),
+                record.ok,
+                record.wall_time,
+            )
+        wall_time = self.progress.finish()
+
+        report = CampaignReport(
+            name=self.name,
+            points=self.points,
+            executed=len(pending),
+            skipped=len(self.points) - len(pending),
+            wall_time=wall_time,
+        )
+        for point in self.points:
+            record = outcomes.get(point.point_hash) or self.store.get(
+                point.point_hash
+            )
+            assert record is not None, f"point {point.point_hash} vanished"
+            report.records.append(record)
+        return report
+
+    # -- internals -------------------------------------------------------
+    def _execute(self, pending: List[RunPoint]):
+        payloads = [p.to_dict() for p in pending]
+        if self.workers == 1 or len(pending) <= 1:
+            for payload in payloads:
+                yield execute_point(payload)
+            return
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(self.workers, len(pending))) as pool:
+            # Unordered: progress reflects real completion; determinism
+            # is unaffected because the report reassembles in grid order.
+            for raw in pool.imap_unordered(execute_point, payloads, chunksize=1):
+                yield raw
+
+    def _record_outcome(self, raw: Dict[str, Any], attempts: int) -> PointRecord:
+        record = PointRecord.from_dict({**raw, "attempts": attempts})
+        self.store.append(record)
+        return record
+
+    def _retry(self, failed: PointRecord) -> PointRecord:
+        """Re-run a failed point once, in-process, recording the outcome."""
+        raw = execute_point(failed.point)
+        record = self._record_outcome(raw, attempts=failed.attempts + 1)
+        record.wall_time += failed.wall_time
+        return record

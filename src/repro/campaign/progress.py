@@ -1,0 +1,100 @@
+"""Progress and ETA reporting for campaign runs.
+
+One line per finished point plus a summary, written to an arbitrary
+stream (stderr by default so result rows on stdout stay machine-
+readable). ETA is the mean per-point wall time over finished points,
+scaled by the remaining count and divided by the worker count — crude,
+but campaigns are embarrassingly parallel so it tracks well.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional, TextIO
+
+
+class ProgressReporter:
+    """Counts done/total and prints per-point wall-time and ETA."""
+
+    def __init__(
+        self,
+        total: int,
+        workers: int = 1,
+        stream: Optional[TextIO] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.total = total
+        self.workers = max(1, workers)
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self.done = 0
+        self.skipped = 0
+        self.failed = 0
+        self.wall_times: List[float] = []
+        self._started_at: Optional[float] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self, skipped: int = 0) -> None:
+        self._started_at = time.perf_counter()
+        self.skipped = skipped
+        self.done = skipped
+        if skipped:
+            self._emit(
+                f"resuming: {skipped}/{self.total} points already in the store"
+            )
+        self._emit(
+            f"running {self.total - skipped} points on "
+            f"{self.workers} worker(s)"
+        )
+
+    def point_done(self, label: str, ok: bool, wall_time: float) -> None:
+        self.done += 1
+        if not ok:
+            self.failed += 1
+        self.wall_times.append(wall_time)
+        status = "ok" if ok else "FAILED"
+        self._emit(
+            f"[{self.done:>{len(str(self.total))}}/{self.total}] "
+            f"{label:40s} {status:6s} {wall_time:6.2f}s  eta {self._eta()}"
+        )
+
+    def finish(self) -> float:
+        """Emit the summary; returns the campaign wall time in seconds."""
+        elapsed = self.elapsed()
+        ran = self.done - self.skipped
+        self._emit(
+            f"done: {ran} run, {self.skipped} skipped, "
+            f"{self.failed} failed in {elapsed:.2f}s"
+            + (
+                f" (mean {self.mean_wall_time():.2f}s/point)"
+                if self.wall_times
+                else ""
+            )
+        )
+        return elapsed
+
+    # -- arithmetic ------------------------------------------------------
+    def elapsed(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.perf_counter() - self._started_at
+
+    def mean_wall_time(self) -> float:
+        if not self.wall_times:
+            return 0.0
+        return sum(self.wall_times) / len(self.wall_times)
+
+    def eta_seconds(self) -> float:
+        remaining = self.total - self.done
+        return self.mean_wall_time() * remaining / self.workers
+
+    def _eta(self) -> str:
+        seconds = self.eta_seconds()
+        if seconds >= 60.0:
+            return f"{seconds / 60.0:.1f}m"
+        return f"{seconds:.1f}s"
+
+    def _emit(self, line: str) -> None:
+        if self.enabled:
+            print(line, file=self.stream)

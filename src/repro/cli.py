@@ -8,6 +8,7 @@ Subcommands::
     repro-sim run --protocol mutable ...   run one experiment
     repro-sim figures                      reproduce Figs. 1-4
     repro-sim table1                       the three-way comparison
+    repro-sim campaign --preset fig5 ...   parallel sweep with resume
 """
 
 from __future__ import annotations
@@ -75,7 +76,90 @@ def _build_parser() -> argparse.ArgumentParser:
         "verify-trace", help="re-verify an archived trace (JSON lines)"
     )
     verify.add_argument("path")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a sweep of experiments on a worker pool, with a "
+        "durable result store and crash resume",
+    )
+    source = campaign.add_mutually_exclusive_group(required=True)
+    source.add_argument("--spec", metavar="PATH",
+                        help="campaign spec as a JSON file")
+    source.add_argument("--preset", choices=sorted(_campaign_presets()),
+                        help="a built-in campaign")
+    campaign.add_argument("--store", metavar="PATH",
+                          help="JSONL result store (default: "
+                          "campaign-<name>.jsonl; completed points in it "
+                          "are skipped)")
+    campaign.add_argument("--no-store", action="store_true",
+                          help="keep results in memory only")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes (results are identical "
+                          "for any worker count)")
+    campaign.add_argument("--quiet", action="store_true",
+                          help="suppress per-point progress lines")
+    campaign.add_argument("--list", action="store_true",
+                          help="print the expanded points and exit")
     return parser
+
+
+def _campaign_presets() -> List[str]:
+    from repro.campaign.spec import PRESETS
+
+    return list(PRESETS)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignEngine, CampaignSpec, ResultStore, preset_spec
+
+    import json
+
+    from repro.errors import ReproError
+
+    try:
+        if args.spec:
+            spec = CampaignSpec.from_json_file(args.spec)
+        else:
+            spec = preset_spec(args.preset)
+        points = spec.expand()
+        if args.workers < 1:
+            raise ValueError("--workers must be at least 1")
+    except (ReproError, ValueError, OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.list:
+        for point in points:
+            print(f"{point.point_hash}  {point.label()}")
+        return 0
+
+    store_path = None if args.no_store else (
+        args.store or f"campaign-{spec.name}.jsonl"
+    )
+    with ResultStore(store_path) as store:
+        engine = CampaignEngine(
+            spec, store=store, workers=args.workers, quiet=args.quiet
+        )
+        report = engine.run()
+
+    for row in report.rows():
+        ident = f"{row['hash']}  {row['label']:40s}"
+        if row["status"] == "ok":
+            metrics = "  ".join(
+                f"{key}={row[key]}"
+                for key in ("tentative_mean", "redundant_mutable_mean",
+                            "redundant_ratio", "duration_s", "initiations")
+            )
+            print(f"{ident} {metrics}")
+        else:
+            print(f"{ident} FAILED: {row['error']}")
+    print(
+        f"campaign {report.name}: {report.total} points "
+        f"({report.executed} run, {report.skipped} resumed, "
+        f"{len(report.failed)} failed) in {report.wall_time:.2f}s"
+        + (f" -> {store_path}" if store_path else "")
+    )
+    return 0 if report.ok else 1
 
 
 def _cmd_protocols() -> int:
@@ -172,6 +256,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figures()
     if args.command == "table1":
         return _cmd_table1()
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "report":
         from repro.reporting import ReportScale, write_report
 

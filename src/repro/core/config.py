@@ -78,6 +78,22 @@ class SystemConfig:
         """A copy with the given fields replaced."""
         return replace(self, **kwargs)
 
+    @classmethod
+    def from_params(cls, params: dict, seed: Optional[int] = None) -> "SystemConfig":
+        """Build from a plain-data override dict (campaign run points).
+
+        A nested ``"network"`` dict becomes :class:`NetworkParams`, so a
+        fully JSON-serializable spec can cross a process boundary and be
+        content-hashed, then rebuilt here inside a worker.
+        """
+        params = dict(params)
+        network = params.get("network")
+        if isinstance(network, dict):
+            params["network"] = NetworkParams(**network)
+        if seed is not None:
+            params["seed"] = seed
+        return cls(**params)
+
 
 @dataclass(frozen=True)
 class PointToPointWorkloadConfig:

@@ -55,6 +55,40 @@ class RunResult:
         redundant = sum(s.redundant_mutables for s in self.initiations)
         return redundant / tentatives
 
+    def to_dict(self) -> Dict:
+        """A JSON-serializable representation.
+
+        Lossless: ``RunResult.from_dict(r.to_dict()) == r`` and the dict
+        survives a JSON round-trip unchanged. This is the wire/storage
+        format of the campaign :class:`~repro.campaign.store.ResultStore`.
+        """
+        return {
+            "protocol": self.protocol,
+            "n_processes": self.n_processes,
+            "seed": self.seed,
+            "initiations": [s.to_dict() for s in self.initiations],
+            "counters": dict(self.counters),
+            "total_blocked_time": self.total_blocked_time,
+            "sim_time": self.sim_time,
+            "wall_events": self.wall_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            protocol=data["protocol"],
+            n_processes=data["n_processes"],
+            seed=data["seed"],
+            initiations=[
+                InitiationStats.from_dict(s) for s in data["initiations"]
+            ],
+            counters=dict(data["counters"]),
+            total_blocked_time=data["total_blocked_time"],
+            sim_time=data["sim_time"],
+            wall_events=data["wall_events"],
+        )
+
     def row(self) -> Dict[str, float]:
         """A flat dict suitable for tabulation."""
         return {

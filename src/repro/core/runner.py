@@ -151,13 +151,13 @@ class ExperimentRunner:
                 # instead of running the experiment forever.
                 self._finish()
                 break
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
             if not sim.step():
                 raise SimulationError(
                     "event queue drained before reaching the initiation target"
                 )
             processed += 1
-            if max_events is not None and processed > max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
         # Let the final commit broadcast settle so every process's state
         # (cp_state, discarded mutables) is final before measuring.
         sim.run(until=sim.now + 1.0)

@@ -1,0 +1,44 @@
+"""Tests for the progress/ETA reporter."""
+
+from __future__ import annotations
+
+import io
+
+from repro.campaign.progress import ProgressReporter
+
+
+def test_progress_lines_and_eta():
+    out = io.StringIO()
+    reporter = ProgressReporter(total=4, workers=2, stream=out)
+    reporter.start(skipped=1)
+    reporter.point_done("a", ok=True, wall_time=2.0)
+    reporter.point_done("b", ok=False, wall_time=4.0)
+    # mean wall time 3.0s, 1 point left, 2 workers -> 1.5s
+    assert reporter.eta_seconds() == 1.5
+    reporter.point_done("c", ok=True, wall_time=3.0)
+    elapsed = reporter.finish()
+    assert elapsed >= 0.0
+
+    text = out.getvalue()
+    assert "resuming: 1/4" in text
+    assert "[2/4]" in text
+    assert "FAILED" in text
+    assert "done: 3 run, 1 skipped, 1 failed" in text
+    assert reporter.failed == 1 and reporter.done == 4
+
+
+def test_progress_can_be_silenced():
+    out = io.StringIO()
+    reporter = ProgressReporter(total=2, stream=out, enabled=False)
+    reporter.start()
+    reporter.point_done("a", ok=True, wall_time=1.0)
+    reporter.finish()
+    assert out.getvalue() == ""
+
+
+def test_eta_formats_minutes():
+    reporter = ProgressReporter(total=100, stream=io.StringIO())
+    reporter.start()
+    reporter.wall_times.append(120.0)
+    reporter.done = 1
+    assert reporter._eta().endswith("m")

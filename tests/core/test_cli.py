@@ -61,6 +61,48 @@ def test_figures_command(capsys):
     assert "fig3" in out and "INCONSISTENT (as intended)" in out
 
 
+def test_campaign_preset_runs_and_resumes(tmp_path, capsys):
+    store = str(tmp_path / "smoke.jsonl")
+    code = main(["campaign", "--preset", "smoke", "--workers", "2",
+                 "--store", store, "--quiet"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "4 points (4 run, 0 resumed, 0 failed)" in out
+    assert "tentative_mean=" in out
+
+    code = main(["campaign", "--preset", "smoke", "--store", store, "--quiet"])
+    assert code == 0
+    resumed = capsys.readouterr().out
+    assert "(0 run, 4 resumed, 0 failed)" in resumed
+    # result rows are identical whether computed or resumed
+    rows = lambda s: [l for l in s.splitlines() if "tentative_mean=" in l]
+    assert rows(resumed) == rows(out)
+
+
+def test_campaign_spec_file(tmp_path, capsys):
+    import json
+
+    spec = {
+        "name": "mini",
+        "protocols": ["mutable"],
+        "workloads": [{"kind": "p2p", "mean_send_interval": 50.0}],
+        "configs": [{"n_processes": 4}],
+        "run": {"max_initiations": 2, "warmup_initiations": 1},
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    code = main(["campaign", "--spec", str(path), "--no-store", "--quiet"])
+    assert code == 0
+    assert "campaign mini: 1 points" in capsys.readouterr().out
+
+
+def test_campaign_list_points(capsys):
+    assert main(["campaign", "--preset", "fig5", "--list"]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 6
+    assert all("mutable p2p" in line for line in out)
+
+
 def test_unknown_protocol_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--protocol", "nope"])

@@ -28,6 +28,22 @@ class TestSystemConfig:
         assert c.seed == 7
         assert c.checkpoint_interval == 900.0
 
+    def test_from_params_rebuilds_nested_network(self):
+        c = SystemConfig.from_params(
+            {"n_processes": 4, "network": {"shared_cell_medium": False}},
+            seed=9,
+        )
+        assert c.n_processes == 4
+        assert c.seed == 9
+        assert isinstance(c.network, NetworkParams)
+        assert c.network.shared_cell_medium is False
+
+    def test_from_params_accepts_network_instance(self):
+        params = NetworkParams(wired_latency=0.001)
+        c = SystemConfig.from_params({"network": params})
+        assert c.network is params
+        assert c.seed == SystemConfig().seed
+
     @pytest.mark.parametrize(
         "kwargs",
         [

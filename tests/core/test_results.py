@@ -51,6 +51,50 @@ def test_redundant_ratio_empty():
     assert r.redundant_ratio == 0.0
 
 
+def test_dict_round_trip_lossless():
+    """to_dict/from_dict is lossless, including through JSON."""
+    import json
+
+    r = make_result()
+    r.initiations[0].abort_time = 5.0
+    r.initiations[0].participants = [0, 2, 5]
+    r.initiations[1].promoted_mutables = 2
+    r.initiations[2].permanent_count = 4
+
+    restored = RunResult.from_dict(r.to_dict())
+    assert restored == r
+    assert isinstance(restored.initiations[0].trigger, Trigger)
+
+    via_json = RunResult.from_dict(json.loads(json.dumps(r.to_dict())))
+    assert via_json == r
+    assert via_json.to_dict() == r.to_dict()
+
+
+def test_dict_round_trip_from_real_run():
+    """A result from an actual simulation survives the round trip."""
+    from repro.checkpointing.mutable import MutableCheckpointProtocol
+    from repro.core.config import (
+        PointToPointWorkloadConfig,
+        RunConfig,
+        SystemConfig,
+    )
+    from repro.core.runner import ExperimentRunner
+    from repro.core.system import MobileSystem
+    from repro.workload.point_to_point import PointToPointWorkload
+
+    system = MobileSystem(
+        SystemConfig(n_processes=4, seed=5), MutableCheckpointProtocol()
+    )
+    workload = PointToPointWorkload(system, PointToPointWorkloadConfig(30.0))
+    runner = ExperimentRunner(
+        system, workload, RunConfig(max_initiations=3, warmup_initiations=1)
+    )
+    result = runner.run(max_events=2_000_000)
+    restored = RunResult.from_dict(result.to_dict())
+    assert restored == result
+    assert restored.row() == result.row()
+
+
 def test_row_flattens():
     row = make_result().row()
     assert row["initiations"] == 3

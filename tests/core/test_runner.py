@@ -90,6 +90,27 @@ def test_different_seeds_differ():
     assert run(1) != run(2)
 
 
+def test_max_events_limit_is_inclusive():
+    """``max_events=N`` permits at most N events — not N + 1."""
+    from repro.errors import SimulationError
+
+    system, runner = build_runner(initiations=4)
+    with pytest.raises(SimulationError, match="max_events=5"):
+        runner.run(max_events=5)
+    assert system.sim.events_processed == 5
+
+
+def test_max_events_not_triggered_by_exact_finish():
+    """A run that needs exactly ``max_events`` events completes."""
+    system, runner = build_runner(initiations=3)
+    result = runner.run(max_events=2_000_000)
+    needed = system.sim.events_processed
+
+    system2, runner2 = build_runner(initiations=3)
+    result2 = runner2.run(max_events=needed)
+    assert result2.sim_time == result.sim_time
+
+
 def test_forced_checkpoint_postpones_next_initiation():
     """§5.1: a checkpoint taken early (forced by someone else's
     initiation) pushes the process's next *initiation* one full interval
