@@ -40,6 +40,7 @@ class MinimalityReport:
     participants: Set[int]
     required: Set[int]
     dependency_edges: List[Tuple[int, int]] = field(default_factory=list)
+    justified: Optional[Set[int]] = None
 
     @property
     def missing(self) -> Set[int]:
@@ -50,6 +51,24 @@ class MinimalityReport:
     def excess(self) -> Set[int]:
         """Processes that checkpointed without being required."""
         return self.participants - self.required
+
+    @property
+    def unjustified(self) -> Set[int]:
+        """Participants with no dependency basis at all.
+
+        The protocol's R bits over-approximate the exact z-closure: a
+        requester whose csn knowledge of a sender is fresher than the
+        message that set its R bit cannot tell the dependency is already
+        covered by the sender's newer stable checkpoint (the paper's
+        csn_i[j] is updated by requests as well as by computation
+        messages). Such checkpoints are *excess* against the exact
+        closure but still *justified* — some participant really did
+        record a receive from them. A participant outside even the
+        justified closure indicates a protocol bug (avalanche, planted
+        mutation), not the known over-approximation.
+        """
+        basis = self.justified if self.justified is not None else self.required
+        return self.participants - basis
 
     @property
     def minimal(self) -> bool:
@@ -122,14 +141,20 @@ def must_checkpoint_set(trace: TraceLog, trigger: Trigger) -> MinimalityReport:
 
     # Build the z-dependency graph: edge Q -> P when P, if it checkpoints
     # for this trigger, records a receive whose send is after Q's
-    # previous checkpoint (so Q is dragged in).
+    # previous checkpoint (so Q is dragged in). The justified graph
+    # keeps the edge even when the send is already covered — that is
+    # the information the protocol's R bit actually carries.
     graph = nx.DiGraph()
     graph.add_node(trigger.pid)
+    justified_graph = nx.DiGraph()
+    justified_graph.add_node(trigger.pid)
     must_edges: List[Tuple[int, int]] = []
     for src, dst, send_pos, recv_pos in edges:
         cut = ckpt_pos.get(dst)
         if cut is None or recv_pos >= cut:
             continue  # receive not recorded in dst's trigger checkpoint
+        if recv_pos > prev_pos.get(dst, -1):
+            justified_graph.add_edge(dst, src)
         if send_pos <= prev_pos.get(src, -1):
             continue  # send already covered by src's previous checkpoint
         graph.add_edge(dst, src)
@@ -138,11 +163,13 @@ def must_checkpoint_set(trace: TraceLog, trigger: Trigger) -> MinimalityReport:
     required = {trigger.pid}
     if graph.has_node(trigger.pid):
         required |= nx.descendants(graph, trigger.pid)
+    justified = {trigger.pid} | nx.descendants(justified_graph, trigger.pid)
     return MinimalityReport(
         trigger=trigger,
         participants=participants,
         required=required,
         dependency_edges=must_edges,
+        justified=justified | required,
     )
 
 

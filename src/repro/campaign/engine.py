@@ -16,10 +16,11 @@ store are skipped, which is the resume path after a crash or Ctrl-C.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.cache import spec_hash
 from repro.campaign.progress import ProgressReporter
@@ -61,26 +62,46 @@ def run_point(
     return runner.run(max_events=point.max_events)
 
 
-def execute_point(payload: Dict[str, Any]) -> Dict[str, Any]:
+def execute_point(
+    payload: Dict[str, Any], trace_dir: Optional[str] = None
+) -> Dict[str, Any]:
     """Worker entry point: run one point dict, never raise.
 
-    Module-level so it pickles into :mod:`multiprocessing` workers. The
+    Module-level so it pickles into :mod:`multiprocessing` workers (bind
+    ``trace_dir`` with :func:`functools.partial`, which pickles too). The
     returned dict is a :class:`PointRecord` minus the ``attempts`` field,
     which only the engine knows.
+
+    With ``trace_dir`` set, the run records messages regardless of the
+    point's ``trace_messages`` setting and its full trace is saved to
+    ``<trace_dir>/<point_hash>.jsonl`` (the record's ``meta`` carries the
+    path). The trace file is a side output: the record itself is
+    identical either way, so cached and traced runs stay comparable.
     """
     started = time.perf_counter()
     point_dict = dict(payload)
     point_hash = spec_hash(point_dict)
     try:
         point = RunPoint.from_dict(point_dict)
-        result = run_point(point)
-        return {
+        system, _, runner = build_point_runtime(point)
+        if trace_dir is not None:
+            system.config = system.config.with_changes(trace_messages=True)
+        result = runner.run(max_events=point.max_events)
+        record = {
             "point_hash": point_hash,
             "status": "ok",
             "point": point.to_dict(),
             "result": result.to_dict(),
             "wall_time": time.perf_counter() - started,
         }
+        if trace_dir is not None:
+            from repro.sim.export import save_trace
+
+            os.makedirs(trace_dir, exist_ok=True)
+            path = os.path.join(trace_dir, f"{point_hash}.jsonl")
+            count = save_trace(system.sim.trace, path)
+            record["meta"] = {"trace_path": path, "trace_records": count}
+        return record
     except Exception as exc:  # noqa: BLE001 — failures become records
         return {
             "point_hash": point_hash,
@@ -167,6 +188,7 @@ class CampaignEngine:
         workers: int = 1,
         progress: Optional[ProgressReporter] = None,
         quiet: bool = True,
+        executor: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
     ) -> None:
         if isinstance(spec, CampaignSpec):
             self.name = spec.name
@@ -178,6 +200,10 @@ class CampaignEngine:
             raise ValueError("need at least one worker")
         self.store = store if store is not None else ResultStore()
         self.workers = workers
+        # A payload -> record callable; must pickle for worker pools
+        # (module-level function or functools.partial of one). This is
+        # how repro.explore reuses the engine with its own run shape.
+        self.executor = executor if executor is not None else execute_point
         self.progress = progress or ProgressReporter(
             total=len(self.points), workers=workers, enabled=not quiet
         )
@@ -223,13 +249,13 @@ class CampaignEngine:
         payloads = [p.to_dict() for p in pending]
         if self.workers == 1 or len(pending) <= 1:
             for payload in payloads:
-                yield execute_point(payload)
+                yield self.executor(payload)
             return
         ctx = _pool_context()
         with ctx.Pool(processes=min(self.workers, len(pending))) as pool:
             # Unordered: progress reflects real completion; determinism
             # is unaffected because the report reassembles in grid order.
-            for raw in pool.imap_unordered(execute_point, payloads, chunksize=1):
+            for raw in pool.imap_unordered(self.executor, payloads, chunksize=1):
                 yield raw
 
     def _record_outcome(self, raw: Dict[str, Any], attempts: int) -> PointRecord:
@@ -239,7 +265,7 @@ class CampaignEngine:
 
     def _retry(self, failed: PointRecord) -> PointRecord:
         """Re-run a failed point once, in-process, recording the outcome."""
-        raw = execute_point(failed.point)
+        raw = self.executor(failed.point)
         record = self._record_outcome(raw, attempts=failed.attempts + 1)
         record.wall_time += failed.wall_time
         return record

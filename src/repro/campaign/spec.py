@@ -61,6 +61,11 @@ class RunPoint:
     ``"network"`` dict becomes :class:`NetworkParams`); ``run_params``
     feed :class:`RunConfig`. All fields are plain JSON values, so the
     point can cross a process boundary and be content-hashed.
+
+    ``explore`` is an optional payload for adversarial runs (see
+    :mod:`repro.explore`): perturbation seed/config, injection schedule,
+    mutation and invariant selection. It is serialized only when set, so
+    the hashes of ordinary campaign points are unchanged.
     """
 
     protocol: str
@@ -72,6 +77,7 @@ class RunPoint:
     seed: int = 42
     max_events: Optional[int] = DEFAULT_MAX_EVENTS
     replicate: int = 0
+    explore: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         _check_workload(self.workload, self.workload_params)
@@ -89,7 +95,7 @@ class RunPoint:
             )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "protocol": self.protocol,
             "workload": self.workload,
             "protocol_params": dict(self.protocol_params),
@@ -100,6 +106,9 @@ class RunPoint:
             "max_events": self.max_events,
             "replicate": self.replicate,
         }
+        if self.explore is not None:
+            data["explore"] = dict(self.explore)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunPoint":

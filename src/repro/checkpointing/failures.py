@@ -125,22 +125,34 @@ class FailureInjector:
         """
         trigger = initiator.initiating
         assert trigger is not None
-        committed: List[int] = []
-        excluded: List[int] = [failed_pid]
+        participants = {}
         for pid, proc in self.system.protocol.processes.items():
             if not isinstance(proc, MutableCheckpointProcess):
                 continue
             context = proc.pending_tentative.get(trigger)
-            if context is None:
-                continue
-            depends_on_failed = (
-                failed_pid < len(context.prev_r) and context.prev_r[failed_pid]
-            )
-            if pid == failed_pid or pid in self.failed_pids or depends_on_failed:
-                if pid not in excluded:
-                    excluded.append(pid)
-            else:
-                committed.append(pid)
+            if context is not None:
+                participants[pid] = context
+        # Transitive closure: if A depends on the failed process, A's
+        # tentative aborts, which un-records A's recent sends — so
+        # anyone whose tentative recorded a receive from A must abort
+        # too, or that receive becomes an orphan. Iterate to fixpoint.
+        excluded_set: Set[int] = {failed_pid} | set(self.failed_pids)
+        changed = True
+        while changed:
+            changed = False
+            for pid, context in participants.items():
+                if pid in excluded_set:
+                    continue
+                if any(
+                    q < len(context.prev_r) and context.prev_r[q]
+                    for q in excluded_set
+                ):
+                    excluded_set.add(pid)
+                    changed = True
+        committed = sorted(set(participants) - excluded_set)
+        excluded = sorted(
+            excluded_set & (set(participants) | {failed_pid})
+        )
         initiator.initiating = None
         initiator.weight = initiator.weight * 0  # zero, exact
         if initiator.protocol.ledger is not None:

@@ -22,9 +22,10 @@ Termination weights are exact fractions (see
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.checkpointing.protocol import CheckpointProtocol, ProcessEnv, ProtocolProcess
 from repro.checkpointing.types import (
@@ -91,6 +92,11 @@ class MutableCheckpointProcess(ProtocolProcess):
         self.initiating: Optional[Trigger] = None
         self._repliers: set = set()
         self._own_save_done = False
+        # Application hand-offs held while a local mutable-checkpoint
+        # copy is in progress. The process handles messages one at a
+        # time: a message arriving during the copy must not overtake
+        # the one that triggered it (FIFO, §2.1).
+        self._delivery_queue: Deque[Callable[[], None]] = deque()
 
     # ------------------------------------------------------------------
     # Block: "Actions taken when P_i sends a computation message to P_j"
@@ -370,6 +376,25 @@ class MutableCheckpointProcess(ProtocolProcess):
             {"weight": weight, "trigger": trigger, "from_pid": self.pid},
         )
 
+    def _hand_off(self, deliver: Callable[[], None], busy_time: float = 0.0) -> None:
+        """Hand a message to the application, preserving arrival order.
+
+        While a mutable-checkpoint copy is in progress (``busy_time`` of
+        the triggering message has not elapsed), later arrivals must wait
+        behind it: the process handles one message at a time, so letting
+        them through immediately would reorder a FIFO channel (§2.1).
+        """
+        if not self._delivery_queue and busy_time <= 0.0:
+            deliver()
+            return
+        self._delivery_queue.append(deliver)
+        if len(self._delivery_queue) == 1:
+            self.env.schedule(busy_time, self._drain_delivery)
+
+    def _drain_delivery(self) -> None:
+        while self._delivery_queue:
+            self._delivery_queue.popleft()()
+
     # ------------------------------------------------------------------
     # Block: "Actions at P_i, on receiving a computation message from P_j"
     # ------------------------------------------------------------------
@@ -381,7 +406,7 @@ class MutableCheckpointProcess(ProtocolProcess):
         msg_trigger: Optional[Trigger] = message.piggyback.get("trigger")
         if recv_csn <= self.csn[j]:
             self.r[j] = True
-            deliver()
+            self._hand_off(deliver)
             return
         if msg_trigger is not None and (
             self.csn[msg_trigger.pid] >= msg_trigger.inum
@@ -391,7 +416,7 @@ class MutableCheckpointProcess(ProtocolProcess):
             # initiator, or saw its commit): no mutable checkpoint needed.
             self.csn[j] = recv_csn
             self.r[j] = True
-            deliver()
+            self._hand_off(deliver)
             return
         self.csn[j] = recv_csn
         took_mutable = False
@@ -426,13 +451,11 @@ class MutableCheckpointProcess(ProtocolProcess):
             self.csn[self.pid] += 1
             self.own_trigger = msg_trigger
         self.r[j] = True
-        if took_mutable and self.env.mutable_save_time > 0:
-            # The message is processed after the local state copy
-            # completes; protocol state above already reflects the new
-            # interval, so delaying only the application hand-off is safe.
-            self.env.schedule(self.env.mutable_save_time, deliver)
-        else:
-            deliver()
+        # The message is processed after the local state copy completes;
+        # protocol state above already reflects the new interval, so
+        # delaying only the application hand-off is safe.
+        busy = self.env.mutable_save_time if took_mutable else 0.0
+        self._hand_off(deliver, busy_time=busy)
 
     # ------------------------------------------------------------------
     # Block: second phase (initiator) + commit reception (others)
@@ -498,7 +521,6 @@ class MutableCheckpointProcess(ProtocolProcess):
             # Kim-Park partial commit (§3.6): we depend on a failed
             # process, so our checkpoint aborts while others commit.
             self._apply_abort(trigger)
-            self.cp_state = False
             return
         if message.fields.get("update"):
             # §3.3.5 update mode: forward the clear wave to everyone we
@@ -518,7 +540,14 @@ class MutableCheckpointProcess(ProtocolProcess):
         self.commit_known[trigger.pid] = max(
             self.commit_known[trigger.pid], trigger.inum
         )
-        self.cp_state = False
+        # The pseudocode clears cp_state unconditionally, which is sound
+        # only under §3.3's single-initiation assumption. With overlap,
+        # a bystander commit must not strip a process engaged in a
+        # *different* wave of its tag: its post-checkpoint sends would
+        # go out untagged and receivers would skip the mutable
+        # checkpoint those messages need (orphan; found by explore).
+        if trigger == self.own_trigger:
+            self.cp_state = False
         mutable = self.mutables.pop(trigger, None)
         if mutable is not None:
             # §3.3.4: a discarded mutable checkpoint gives back its saved
@@ -560,7 +589,10 @@ class MutableCheckpointProcess(ProtocolProcess):
         self._apply_abort(message.fields["trigger"])
 
     def _apply_abort(self, trigger: Trigger) -> None:
-        self.cp_state = False
+        # Scoped like _apply_commit: only the wave we are actually in
+        # releases our cp_state.
+        if trigger == self.own_trigger:
+            self.cp_state = False
         self.aborted.add(trigger)
         self.tagged_sent.pop(trigger, None)
         mutable = self.mutables.pop(trigger, None)

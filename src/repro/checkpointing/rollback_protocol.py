@@ -75,6 +75,11 @@ class DistributedRecovery:
                 "resume", self._make_resume_handler(process)
             )
 
+    @property
+    def active(self) -> bool:
+        """Whether a recovery round is currently in progress."""
+        return self._active is not None
+
     # ------------------------------------------------------------------
     def recover(self, initiator_pid: int) -> RecoveryRound:
         """Start a coordinated rollback from ``initiator_pid``.

@@ -42,6 +42,17 @@ class CheckpointKind(enum.Enum):
 _checkpoint_ids = count()
 
 
+def reset_checkpoint_ids() -> None:
+    """Restart the process-wide ckpt_id counter (new-system hygiene).
+
+    Called when a :class:`~repro.core.system.MobileSystem` is built so
+    two identical runs in one interpreter produce bit-identical traces
+    (ids are only required to be unique within a run).
+    """
+    global _checkpoint_ids
+    _checkpoint_ids = count()
+
+
 @dataclass
 class CheckpointRecord:
     """One saved checkpoint of one process.

@@ -9,6 +9,7 @@ Subcommands::
     repro-sim figures                      reproduce Figs. 1-4
     repro-sim table1                       the three-way comparison
     repro-sim campaign --preset fig5 ...   parallel sweep with resume
+    repro-sim explore --seeds 100 ...      adversarial schedule fuzzing
 """
 
 from __future__ import annotations
@@ -57,7 +58,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--group-ratio", type=float, default=1000.0)
     run.add_argument("--interval", type=float, default=900.0,
                      help="checkpoint interval in seconds")
-    run.add_argument("--export-trace", metavar="PATH",
+    run.add_argument("--export-trace", "--trace-out", dest="export_trace",
+                     metavar="PATH",
                      help="write the run's trace as JSON lines")
     run.add_argument("--verify", action="store_true",
                      help="check the final recovery line for consistency")
@@ -100,7 +102,111 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="suppress per-point progress lines")
     campaign.add_argument("--list", action="store_true",
                           help="print the expanded points and exit")
+    campaign.add_argument("--trace-out", metavar="DIR",
+                          help="save every executed point's full trace as "
+                          "DIR/<point_hash>.jsonl")
+
+    explore = sub.add_parser(
+        "explore",
+        help="adversarial schedule exploration: seeded fuzz batches with "
+        "invariant checking and counterexample shrinking",
+    )
+    explore.add_argument("--preset", choices=sorted(_explore_presets()),
+                         default="quick", help="a built-in explore batch")
+    explore.add_argument("--seeds", type=int, default=None,
+                         help="number of seeds (overrides the preset)")
+    explore.add_argument("--seed", type=int, default=None,
+                         help="master seed (overrides the preset)")
+    explore.add_argument("--mutation", metavar="NAME",
+                         help="plant a protocol mutation (self-test mode); "
+                         "see repro.explore.mutations")
+    explore.add_argument("--no-shrink", action="store_true",
+                         help="report violations without minimizing them")
+    explore.add_argument("--workers", type=int, default=1,
+                         help="worker processes (verdicts are identical "
+                         "for any worker count)")
+    explore.add_argument("--store", metavar="PATH",
+                         help="JSONL result store (default: in-memory; "
+                         "completed seeds in it are skipped)")
+    explore.add_argument("--out", metavar="DIR", default="explore-out",
+                         help="where violation counterexamples and their "
+                         "replayed traces are written")
+    explore.add_argument("--quiet", action="store_true",
+                         help="suppress per-seed progress lines")
     return parser
+
+
+def _explore_presets() -> List[str]:
+    from repro.explore.fuzz import EXPLORE_PRESETS
+
+    return list(EXPLORE_PRESETS)
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.campaign.store import ResultStore
+    from repro.errors import ReproError
+    from repro.explore import (
+        explore_preset,
+        replay_counterexample,
+        run_explore_batch,
+    )
+    from repro.sim.export import save_trace
+
+    try:
+        spec = explore_preset(args.preset)
+        overrides = {}
+        if args.seeds is not None:
+            overrides["n_seeds"] = args.seeds
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.mutation is not None:
+            overrides["mutation"] = args.mutation
+        if args.no_shrink:
+            overrides["shrink"] = False
+        if overrides:
+            spec = type(spec).from_dict({**spec.to_dict(), **overrides})
+        if args.workers < 1:
+            raise ValueError("--workers must be at least 1")
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    store = ResultStore(args.store)
+    with store:
+        report = run_explore_batch(
+            spec, store=store, workers=args.workers, quiet=args.quiet
+        )
+
+    for record in report.failed:
+        print(f"{record.point_hash}  CRASHED: {record.error}")
+    for point, result in report.violations:
+        names = sorted({v["invariant"] for v in result["violations"]})
+        line = (
+            f"seed {result['seed_index']:4d}  VIOLATION  {', '.join(names)}"
+        )
+        counterexample = result.get("counterexample")
+        if counterexample is not None:
+            os.makedirs(args.out, exist_ok=True)
+            stem = os.path.join(
+                args.out, f"counterexample-seed{result['seed_index']}"
+            )
+            with open(f"{stem}.json", "w", encoding="utf-8") as fh:
+                json.dump(counterexample, fh, indent=2, sort_keys=True)
+            replayed = replay_counterexample(counterexample)
+            save_trace(replayed.trace, f"{stem}.trace.jsonl")
+            line += (
+                f"  shrunk {counterexample['original_decisions']}->"
+                f"{counterexample['shrunk_decisions']} perturbations, "
+                f"{counterexample['original_injections']}->"
+                f"{counterexample['shrunk_injections']} injections "
+                f"-> {stem}.json"
+            )
+        print(line)
+    print(report.summary())
+    return 0 if report.clean else 1
 
 
 def _campaign_presets() -> List[str]:
@@ -136,9 +242,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     store_path = None if args.no_store else (
         args.store or f"campaign-{spec.name}.jsonl"
     )
+    executor = None
+    if args.trace_out:
+        import functools
+
+        from repro.campaign.engine import execute_point
+
+        executor = functools.partial(execute_point, trace_dir=args.trace_out)
     with ResultStore(store_path) as store:
         engine = CampaignEngine(
-            spec, store=store, workers=args.workers, quiet=args.quiet
+            spec, store=store, workers=args.workers, quiet=args.quiet,
+            executor=executor,
         )
         report = engine.run()
 
@@ -258,6 +372,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_table1()
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "explore":
+        return _cmd_explore(args)
     if args.command == "report":
         from repro.reporting import ReportScale, write_report
 

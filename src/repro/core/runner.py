@@ -89,6 +89,25 @@ class ExperimentRunner:
             except ValueError:
                 pass
 
+    def request_initiation(self, pid: int) -> None:
+        """Ask for an extra initiation by ``pid`` now (fault injection).
+
+        Goes through the same serialization as timer-driven initiations
+        (§3.3's presentation assumption): if a checkpointing is active
+        the request is deferred, not run concurrently. Unknown or
+        non-initiator pids are ignored.
+        """
+        if self._done or pid not in self._timers:
+            return
+        # Unlike _initiation_due this leaves the pid's regular timer
+        # armed: the injection is an *extra* initiation, not an early
+        # firing of the scheduled one.
+        if self.serialize_initiations and self._busy:
+            if pid not in self._deferred:
+                self._deferred.append(pid)
+            return
+        self._try_initiate(pid)
+
     def _initiation_due(self, pid: int) -> None:
         self._timers[pid] = None
         if self._done:

@@ -16,11 +16,15 @@ from typing import Callable, Dict, List, Optional, Union
 
 from repro.checkpointing.protocol import CheckpointProtocol
 from repro.checkpointing.storage import StableStorage
-from repro.checkpointing.types import CheckpointKind, CheckpointRecord
+from repro.checkpointing.types import (
+    CheckpointKind,
+    CheckpointRecord,
+    reset_checkpoint_ids,
+)
 from repro.core.config import SystemConfig
 from repro.core.process import AppProcess
 from repro.errors import ConfigurationError
-from repro.net.message import ComputationMessage
+from repro.net.message import ComputationMessage, reset_message_ids
 from repro.net.mh import MobileHost
 from repro.net.mss import MobileSupportStation
 from repro.net.network import MobileNetwork
@@ -47,6 +51,11 @@ class MobileSystem:
     ) -> None:
         self.config = config
         self.protocol = protocol
+        # Fresh id spaces per system: ids only need uniqueness within a
+        # run, and restarting them makes identical runs bit-identical
+        # even inside one interpreter (replay, digests, worker reuse).
+        reset_checkpoint_ids()
+        reset_message_ids()
         self.sim = Simulator()
         self.sim.trace.enabled = True
         self.streams = RandomStreams(config.seed)

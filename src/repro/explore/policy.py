@@ -1,0 +1,141 @@
+"""Seeded schedule-perturbation policies for adversarial exploration.
+
+The kernel's :class:`~repro.sim.kernel.SchedulePolicy` hook is consulted
+once per ``schedule``/``schedule_at`` call; these policies use it to
+explore the schedule space around the nominal run:
+
+* :class:`RecordingPolicy` draws perturbations from one seeded
+  :class:`random.Random` in call order and *records* every active
+  decision as ``call_index -> (extra_delay, priority)``. The recorded
+  decision list is the raw material the shrinker minimizes.
+* :class:`ReplayPolicy` applies an explicit decision map and is the
+  identity everywhere else — replaying the full recorded set reproduces
+  the recording run bit-for-bit, and replaying a subset is exactly the
+  "remove some perturbations" experiment delta debugging needs.
+
+Both perturbation kinds are bounded and safe by construction: extra
+delay is capped by ``max_jitter`` (and the kernel clamps to ``>= now``),
+and priorities only reorder events that share a timestamp. FIFO streams
+are protected by the kernel's per-stream monotone floor, so no policy
+can reorder a channel's deliveries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import SchedulePolicy
+
+#: a recorded perturbation: schedule-call index -> (extra delay, priority)
+Decisions = Dict[int, Tuple[float, int]]
+
+
+@dataclass(frozen=True)
+class PerturbationConfig:
+    """Knobs for :class:`RecordingPolicy`.
+
+    ``p_perturb`` is the per-call probability of perturbing at all;
+    ``max_jitter`` bounds the extra delay in seconds (keep it below the
+    smallest physical hop delay so jitter widens races without inventing
+    impossible overtaking); ``priority_levels`` bounds the tie-break
+    priorities drawn (``[-levels, +levels]``).
+    """
+
+    p_perturb: float = 0.25
+    max_jitter: float = 0.001
+    priority_levels: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_perturb <= 1.0:
+            raise ConfigurationError("p_perturb must be in [0, 1]")
+        if self.max_jitter < 0:
+            raise ConfigurationError("max_jitter cannot be negative")
+        if self.priority_levels < 0:
+            raise ConfigurationError("priority_levels cannot be negative")
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "p_perturb": self.p_perturb,
+            "max_jitter": self.max_jitter,
+            "priority_levels": self.priority_levels,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "PerturbationConfig":
+        return cls(**data)
+
+
+class RecordingPolicy(SchedulePolicy):
+    """Draw seeded perturbations and record the active ones.
+
+    Deterministic: the policy's output is a pure function of its seed
+    and the sequence of ``on_schedule`` calls, and the simulation (given
+    the policy) is deterministic, so the whole closed loop is — the same
+    seed always yields the same schedule and the same decision list.
+    """
+
+    def __init__(self, seed: int, config: Optional[PerturbationConfig] = None) -> None:
+        self.seed = seed
+        self.config = config or PerturbationConfig()
+        self.decisions: Decisions = {}
+        self._rng = random.Random(seed)
+        self._calls = 0
+
+    @property
+    def calls(self) -> int:
+        """Number of schedule calls seen so far."""
+        return self._calls
+
+    def on_schedule(
+        self, now: float, when: float, stream: Optional[Hashable]
+    ) -> Tuple[float, int]:
+        index = self._calls
+        self._calls += 1
+        cfg = self.config
+        if self._rng.random() >= cfg.p_perturb:
+            return when, 0
+        extra = self._rng.uniform(0.0, cfg.max_jitter)
+        priority = self._rng.randint(-cfg.priority_levels, cfg.priority_levels)
+        if extra == 0.0 and priority == 0:
+            return when, 0
+        self.decisions[index] = (extra, priority)
+        return when + extra, priority
+
+
+class ReplayPolicy(SchedulePolicy):
+    """Apply an explicit decision map; identity for every other call."""
+
+    def __init__(self, decisions: Decisions) -> None:
+        self.decisions = dict(decisions)
+        self._calls = 0
+
+    @property
+    def calls(self) -> int:
+        return self._calls
+
+    def on_schedule(
+        self, now: float, when: float, stream: Optional[Hashable]
+    ) -> Tuple[float, int]:
+        index = self._calls
+        self._calls += 1
+        decision = self.decisions.get(index)
+        if decision is None:
+            return when, 0
+        extra, priority = decision
+        return when + extra, priority
+
+
+def decisions_to_jsonable(decisions: Decisions) -> List[List]:
+    """Stable JSON form: ``[[call_index, extra_delay, priority], ...]``."""
+    return [
+        [index, extra, priority]
+        for index, (extra, priority) in sorted(decisions.items())
+    ]
+
+
+def decisions_from_jsonable(data: Iterable[Sequence]) -> Decisions:
+    """Inverse of :func:`decisions_to_jsonable`."""
+    return {int(index): (float(extra), int(priority)) for index, extra, priority in data}

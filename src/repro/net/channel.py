@@ -139,7 +139,9 @@ class FifoChannel:
             if arrival < self._last_arrival:
                 arrival = self._last_arrival
         self._last_arrival = arrival
-        self.sim.schedule_at(arrival, self.deliver, message)
+        # stream=self: a SchedulePolicy may jitter arrivals but the
+        # kernel keeps this channel's deliveries in order (§2.1 FIFO).
+        self.sim.schedule_at(arrival, self.deliver, message, stream=self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "paused" if self._paused else "up"
@@ -163,4 +165,4 @@ class InstantChannel:
     def send(self, message: Message) -> None:
         self.bytes_sent += message.size_bytes
         self.messages_sent += 1
-        self.sim.schedule(0.0, self.deliver, message)
+        self.sim.schedule(0.0, self.deliver, message, stream=self)

@@ -148,11 +148,17 @@ class MobileHost(Host):
             mss.bulk_busy_until = finish
             mss.bulk_bytes += data.size_bytes
             self.sim.schedule_at(
-                finish + params.wireless_latency, mss.on_wireless_arrival, data
+                finish + params.wireless_latency,
+                mss.on_wireless_arrival,
+                data,
+                stream=(self, "bulk"),
             )
         else:
             self.sim.schedule(
-                tx_time + params.wireless_latency, mss.on_wireless_arrival, data
+                tx_time + params.wireless_latency,
+                mss.on_wireless_arrival,
+                data,
+                stream=(self, "bulk"),
             )
 
     def doze(self) -> None:

@@ -1,9 +1,12 @@
 """Event primitives for the discrete-event simulation kernel.
 
 An :class:`Event` is a callback scheduled to fire at a simulated time.
-Events are totally ordered by ``(time, seq)`` where ``seq`` is a
-monotonically increasing insertion counter; the tie-break makes runs
-deterministic regardless of heap internals.
+Events are totally ordered by ``(time, priority, seq)`` where ``seq`` is
+a monotonically increasing insertion counter; the tie-break makes runs
+deterministic regardless of heap internals. ``priority`` defaults to 0
+and is only ever set by a :class:`~repro.sim.kernel.SchedulePolicy`, so
+without a policy the order degenerates to the classic ``(time, seq)``
+FIFO-within-a-timestamp order.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ class Event:
     :meth:`cancel` and :attr:`cancelled`.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "_cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled")
 
     def __init__(
         self,
@@ -27,8 +30,10 @@ class Event:
         seq: int,
         callback: Callable[..., Any],
         args: tuple,
+        priority: int = 0,
     ) -> None:
         self.time = time
+        self.priority = priority
         self.seq = seq
         self.callback = callback
         self.args = args
@@ -49,7 +54,11 @@ class Event:
         self._cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self._cancelled else ""

@@ -16,11 +16,58 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import ScheduleInPastError, SimulationError
 from repro.sim.events import Event, Timer
 from repro.sim.trace import TraceLog
+
+
+class SchedulePolicy:
+    """Hook deciding *when* and *in what order* scheduled events fire.
+
+    The kernel consults the policy once per ``schedule``/``schedule_at``
+    call and uses the returned ``(when, priority)`` for the new event.
+    Events are ordered by ``(time, priority, seq)``, so a policy can
+    perturb event ordering two ways:
+
+    * **delay jitter** — return a later ``when`` (the kernel clamps the
+      result to ``>= now``, so a policy can never schedule into the
+      past);
+    * **tie-break shuffling** — return a nonzero ``priority`` to reorder
+      events that share a timestamp (lower fires first; the default 0
+      preserves insertion order).
+
+    Determinism contract: a policy must be a pure function of its own
+    seeded state and the sequence of ``on_schedule`` calls. The kernel
+    calls it in a deterministic order (the simulation itself is
+    deterministic), so a seeded policy yields bit-identical schedules on
+    every replay.
+
+    FIFO safety: callers that rely on in-order delivery (e.g. FIFO
+    channels) pass a ``stream`` key; the kernel forces ``(when,
+    priority)`` to be monotonically non-decreasing per stream, so a
+    policy can never reorder events within a stream, only across
+    streams. ``stream=None`` (the default) is unconstrained.
+
+    The base class is the identity policy: no jitter, no shuffling.
+    """
+
+    def on_schedule(
+        self, now: float, when: float, stream: Optional[Hashable]
+    ) -> Tuple[float, int]:
+        """Return the ``(when, priority)`` to use for a new event.
+
+        Parameters
+        ----------
+        now:
+            Current simulated time.
+        when:
+            Requested absolute fire time (``>= now``).
+        stream:
+            FIFO-stream key the caller tagged the event with, or ``None``.
+        """
+        return when, 0
 
 
 class Simulator:
@@ -33,20 +80,45 @@ class Simulator:
         to record structured events. The kernel itself does not write to
         it; it is carried here so every entity can reach it through the
         simulator it already holds.
+    policy:
+        Optional :class:`SchedulePolicy` consulted on every schedule
+        call. Without one the kernel behaves exactly as before (pure
+        ``(time, seq)`` order).
     """
 
-    def __init__(self, trace: Optional[TraceLog] = None) -> None:
+    def __init__(
+        self,
+        trace: Optional[TraceLog] = None,
+        policy: Optional[SchedulePolicy] = None,
+    ) -> None:
         self._queue: List[Event] = []
         self._seq = count()
         self._now: float = 0.0
         self._events_processed: int = 0
         self._running = False
+        self._policy = policy
+        self._stream_floors: Dict[Hashable, Tuple[float, int]] = {}
         self.trace: TraceLog = trace if trace is not None else TraceLog()
 
     @property
     def now(self) -> float:
         """The current simulated time in seconds."""
         return self._now
+
+    @property
+    def policy(self) -> Optional[SchedulePolicy]:
+        """The active :class:`SchedulePolicy`, if any."""
+        return self._policy
+
+    def set_policy(self, policy: Optional[SchedulePolicy]) -> None:
+        """Install (or clear) the schedule policy.
+
+        Only affects events scheduled after the call; install the policy
+        before the first event for a fully perturbed run. Per-stream
+        FIFO floors are reset, since they only constrain policy output.
+        """
+        self._policy = policy
+        self._stream_floors.clear()
 
     @property
     def events_processed(self) -> int:
@@ -58,22 +130,48 @@ class Simulator:
         """Number of events in the queue, including cancelled ones."""
         return len(self._queue)
 
-    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        stream: Optional[Hashable] = None,
+    ) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
 
         Returns an :class:`Event` handle that may be cancelled. A zero
         delay is allowed and fires after all previously scheduled events
-        at the current instant (FIFO within a timestamp).
+        at the current instant (FIFO within a timestamp). ``stream``
+        tags the event with a FIFO-stream key for the
+        :class:`SchedulePolicy` (ignored without a policy).
         """
         if delay < 0:
             raise ScheduleInPastError(self._now, self._now + delay)
-        return self.schedule_at(self._now + delay, callback, *args)
+        return self.schedule_at(self._now + delay, callback, *args, stream=stream)
 
-    def schedule_at(self, when: float, callback: Callable[..., Any], *args: Any) -> Event:
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        stream: Optional[Hashable] = None,
+    ) -> Event:
         """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
         if when < self._now:
             raise ScheduleInPastError(self._now, when)
-        event = Event(when, next(self._seq), callback, args)
+        priority = 0
+        if self._policy is not None:
+            when, priority = self._policy.on_schedule(self._now, when, stream)
+            if when < self._now:
+                when = self._now
+            if stream is not None:
+                # Per-stream monotone floor: a policy may delay or
+                # reprioritize a stream's events but never reorder them.
+                floor = self._stream_floors.get(stream)
+                if floor is not None and (when, priority) < floor:
+                    when, priority = floor
+                self._stream_floors[stream] = (when, priority)
+        event = Event(when, next(self._seq), callback, args, priority=priority)
         heapq.heappush(self._queue, event)
         return event
 

@@ -122,6 +122,75 @@ def test_partial_commit_line_remains_consistent():
     assert_line_consistent(system.sim.trace, line)
 
 
+def _build_dependency_chain(n=5, seed=3):
+    """A system with a hand-built dependency graph (no workload):
+
+    P0 depends on P1 and P4, P1 on P2, P2 on P3, P4 on nobody.
+    Initiating at P0 therefore requests the whole chain, and failing P3
+    mid-coordination exercises the transitive-abort path.
+    """
+    config = SystemConfig(n_processes=n, seed=seed)
+    system = MobileSystem(config, MutableCheckpointProtocol())
+    for src, dst in [(3, 2), (2, 1), (1, 0), (4, 0)]:
+        system.processes[src].send_computation(dst, payload=f"{src}->{dst}")
+        system.run_until_quiescent()
+    return system
+
+
+def _run_until_participants(system, trigger, pids, deadline=30.0):
+    end = system.sim.now + deadline
+    procs = system.protocol.processes
+    while system.sim.now < end:
+        if all(trigger in procs[pid].pending_tentative for pid in pids):
+            return
+        if not system.sim.step():
+            break
+    raise AssertionError(
+        f"not all of {pids} joined initiation {trigger} within {deadline}s"
+    )
+
+
+def test_partial_commit_independent_commit_dependent_subtree_aborts():
+    """§3.6 Kim-Park: independent participants commit; the subtree that
+    depends on the failed process — directly or transitively — aborts."""
+    system = _build_dependency_chain()
+    trigger = start_initiation(system, pid=0)
+    _run_until_participants(system, trigger, pids=[0, 1, 2, 3, 4])
+    injector = FailureInjector(system, FailurePolicy.PARTIAL_COMMIT)
+    injector.fail_process(3)
+    system.sim.run(until=system.sim.now + 60.0)
+
+    record = system.sim.trace.last("partial_commit")
+    assert record is not None
+    assert record["failed"] == 3
+    # direct dependence: P2 received from P3
+    assert 2 in record["excluded"]
+    # transitive dependence: P1 only through P2, P0 only through P1
+    assert 1 in record["excluded"]
+    assert 0 in record["excluded"]
+    # P4 never received from anyone in the subtree: it commits
+    assert record["committed"] == (4,)
+    assert system.sim.trace.count("permanent", pid=4, trigger=trigger) == 1
+    for pid in (0, 1, 2, 3):
+        assert system.sim.trace.count("permanent", pid=pid, trigger=trigger) == 0
+
+
+def test_partial_commit_transitive_line_is_consistent():
+    """The committed line after a transitive partial commit has no
+    orphans: P1's committed state must not record a receive whose send
+    died with P2's aborted tentative."""
+    from repro.analysis.consistency import assert_line_consistent, latest_permanent_line
+
+    system = _build_dependency_chain(seed=17)
+    trigger = start_initiation(system, pid=0)
+    _run_until_participants(system, trigger, pids=[0, 1, 2, 3, 4])
+    injector = FailureInjector(system, FailurePolicy.PARTIAL_COMMIT)
+    injector.fail_process(3)
+    system.sim.run(until=system.sim.now + 60.0)
+    line = latest_permanent_line(system.all_stable_storages(), system.processes)
+    assert_line_consistent(system.sim.trace, line)
+
+
 def test_restart_reattaches_process():
     system, workload = build()
     warm_up(system, workload)

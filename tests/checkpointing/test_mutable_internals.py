@@ -137,6 +137,45 @@ class TestDoubleParticipation:
         assert all(t.pid == 2 for t in triggers)
 
 
+class TestOverlapCpState:
+    def test_bystander_commit_keeps_concurrent_wave_tagged(self):
+        """Regression for DESIGN.md §7.5: a commit of initiation A
+        arriving at the initiator of a concurrent initiation B must not
+        clear B's cp_state — B's later sends would go out untagged."""
+        h = harness()
+        h.deliver(h.send(1, 0))      # P0 depends on P1
+        h.initiate(0)                # wave B: request to P1 in flight
+        h.initiate(2)                # wave A: no dependencies, commits
+        commits = h.pending_system("commit")
+        assert commits               # A's broadcast is in flight
+        for flight in commits:
+            h.deliver(flight)
+        p0 = h.processes[0]
+        assert p0.cp_state           # still inside wave B
+        m = h.send(0, 1)             # post-checkpoint send stays tagged
+        assert m.message.piggyback["trigger"] == p0.own_trigger
+        h.deliver(m)
+        h.deliver_everything()
+        h.assert_consistent()
+
+    def test_receiver_mutable_survives_bystander_commit(self):
+        """The §2.4 race behind §7.5: P0's post-checkpoint tagged send
+        must still force P1's mutable checkpoint after an unrelated
+        commit, or P1's later tentative records an orphan receive."""
+        h = harness()
+        h.deliver(h.send(1, 0))      # P0 depends on P1
+        h.deliver(h.send(1, 3))      # P1 has sent this interval
+        h.initiate(0)                # wave B
+        h.initiate(2)                # wave A commits immediately
+        for flight in h.pending_system("commit"):
+            h.deliver(flight)
+        m = h.send(0, 1)             # reaches P1 before B's request
+        h.deliver(m)
+        assert h.processes[1].mutables
+        h.deliver_everything()
+        h.assert_consistent()
+
+
 def test_mr_entry_is_immutable():
     entry = MREntry(3, True)
     with pytest.raises(AttributeError):

@@ -82,6 +82,43 @@ def test_ghost_messages_from_old_incarnation_dropped():
     assert system.monitor.counter("stale_incarnation_dropped") >= 1
 
 
+def test_ghost_message_arriving_after_resume_is_discarded():
+    """Regression: a message sent by the *rolled-back* incarnation must be
+    dropped even when it arrives after recovery has fully completed and
+    computation has resumed — not only while processes are still blocked."""
+    from repro.net.message import ComputationMessage
+
+    system, recovery, workload = build(seed=13)
+    checkpointed_run(system, workload)
+    workload.stop()
+    recovery.recover(0)
+    system.sim.run(until=system.sim.now + 60.0)
+    system.run_until_quiescent()
+    assert system.sim.trace.count("recovery_complete") == 1
+    assert all(not p.blocked for p in system.processes.values())
+    assert system.processes[2].incarnation == 1
+
+    # An in-flight message from before the rollback: stamped with the old
+    # incarnation (0), still crossing the network when everyone resumed.
+    receiver = system.processes[2]
+    received_before = receiver.app_state["messages_received"]
+    dropped_before = system.monitor.counter("stale_incarnation_dropped")
+    ghost = ComputationMessage(src_pid=1, dst_pid=2, payload="late-ghost")
+    ghost.piggyback["vc"] = system.processes[1].vc.snapshot()
+    ghost.piggyback["inc"] = 0
+    system.network.send_from_process(1, ghost)
+    system.run_until_quiescent()
+
+    assert system.monitor.counter("stale_incarnation_dropped") == dropped_before + 1
+    assert receiver.app_state["messages_received"] == received_before
+    assert not receiver._deferred_receives
+
+    # A message from the *current* incarnation still goes through.
+    system.processes[1].send_computation(2, payload="fresh")
+    system.run_until_quiescent()
+    assert receiver.app_state["messages_received"] == received_before + 1
+
+
 def test_recovery_aborts_active_checkpointing():
     system, recovery, workload = build(seed=9)
     workload.start()

@@ -1,0 +1,115 @@
+"""Tests for the seeded perturbation policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.explore.policy import (
+    PerturbationConfig,
+    RecordingPolicy,
+    ReplayPolicy,
+    decisions_from_jsonable,
+    decisions_to_jsonable,
+)
+
+
+def drive(policy, n=200):
+    """Feed a fixed synthetic call sequence; return the outputs."""
+    return [policy.on_schedule(0.0, 1.0 + i * 0.1, None) for i in range(n)]
+
+
+def test_perturbation_config_validation():
+    with pytest.raises(ConfigurationError):
+        PerturbationConfig(p_perturb=1.5)
+    with pytest.raises(ConfigurationError):
+        PerturbationConfig(max_jitter=-0.1)
+    with pytest.raises(ConfigurationError):
+        PerturbationConfig(priority_levels=-1)
+
+
+def test_perturbation_config_round_trip():
+    config = PerturbationConfig(p_perturb=0.5, max_jitter=0.01, priority_levels=2)
+    assert PerturbationConfig.from_dict(config.to_dict()) == config
+
+
+def test_recording_policy_same_seed_same_decisions():
+    a, b = RecordingPolicy(99), RecordingPolicy(99)
+    assert drive(a) == drive(b)
+    assert a.decisions == b.decisions
+    assert a.calls == b.calls == 200
+
+
+def test_recording_policy_different_seed_differs():
+    a, b = RecordingPolicy(1), RecordingPolicy(2)
+    assert drive(a) != drive(b)
+
+
+def test_recording_policy_bounds():
+    config = PerturbationConfig(p_perturb=1.0, max_jitter=0.005, priority_levels=3)
+    policy = RecordingPolicy(5, config)
+    outputs = drive(policy)
+    for (when, priority), i in zip(outputs, range(len(outputs))):
+        assert 1.0 + i * 0.1 <= when <= 1.0 + i * 0.1 + 0.005
+        assert -3 <= priority <= 3
+    assert policy.decisions  # p=1 perturbs essentially every call
+
+
+def test_replay_full_decisions_reproduces_recording():
+    recorder = RecordingPolicy(7)
+    recorded = drive(recorder)
+    replayer = ReplayPolicy(recorder.decisions)
+    assert drive(replayer) == recorded
+
+
+def test_replay_subset_is_identity_elsewhere():
+    recorder = RecordingPolicy(7)
+    drive(recorder)
+    kept = dict(list(sorted(recorder.decisions.items()))[:3])
+    replayer = ReplayPolicy(kept)
+    outputs = drive(replayer)
+    for i, (when, priority) in enumerate(outputs):
+        if i in kept:
+            extra, prio = kept[i]
+            assert when == pytest.approx(1.0 + i * 0.1 + extra)
+            assert priority == prio
+        else:
+            assert when == pytest.approx(1.0 + i * 0.1)
+            assert priority == 0
+
+
+def test_replay_empty_decisions_is_identity():
+    outputs = drive(ReplayPolicy({}))
+    for i, (when, priority) in enumerate(outputs):
+        assert when == pytest.approx(1.0 + i * 0.1)
+        assert priority == 0
+
+
+def test_decisions_jsonable_round_trip():
+    recorder = RecordingPolicy(11)
+    drive(recorder)
+    data = decisions_to_jsonable(recorder.decisions)
+    assert data == sorted(data)  # stable order
+    assert decisions_from_jsonable(data) == recorder.decisions
+
+
+def test_fifo_preserved_under_heavy_jitter():
+    """End to end: even absurd jitter cannot reorder a channel, because
+    the kernel's per-stream floor is monotone."""
+    from repro.checkpointing.mutable import MutableCheckpointProtocol
+    from repro.core.config import SystemConfig
+    from repro.core.system import MobileSystem
+    from repro.explore.invariants import FifoChannelOrder
+
+    config = SystemConfig(n_processes=4, seed=1, trace_messages=True)
+    system = MobileSystem(config, MutableCheckpointProtocol())
+    policy = RecordingPolicy(
+        3, PerturbationConfig(p_perturb=0.9, max_jitter=5.0, priority_levels=8)
+    )
+    system.sim.set_policy(policy)
+    for burst in range(20):
+        system.processes[0].send_computation(1, payload=burst)
+        system.processes[1].send_computation(2, payload=burst)
+    system.run_until_quiescent()
+    assert policy.decisions  # the jitter actually fired
+    assert FifoChannelOrder().check(system.sim.trace) == []

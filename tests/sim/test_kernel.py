@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ScheduleInPastError, SimulationError
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import SchedulePolicy, Simulator
 
 
 def test_clock_starts_at_zero(sim):
@@ -181,3 +181,117 @@ def test_timer_cancel_prevents_firing(sim):
     timer.cancel()
     sim.run_until_idle()
     assert fired == []
+
+
+# -- SchedulePolicy hook -------------------------------------------------
+
+
+class _Spy(SchedulePolicy):
+    """Records every consultation; identity output."""
+
+    def __init__(self):
+        self.calls = []
+
+    def on_schedule(self, now, when, stream):
+        self.calls.append((now, when, stream))
+        return when, 0
+
+
+def test_policy_consulted_per_schedule_call(sim):
+    spy = _Spy()
+    sim.set_policy(spy)
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None, stream="ch")
+    assert spy.calls == [(0.0, 1.0, None), (0.0, 2.0, "ch")]
+
+
+def test_default_policy_is_identity(sim):
+    order = []
+    sim.set_policy(SchedulePolicy())
+    for tag in range(5):
+        sim.schedule(1.0, order.append, tag)
+    sim.run_until_idle()
+    assert order == list(range(5))
+
+
+def test_policy_priority_reorders_same_timestamp(sim):
+    class Flip(SchedulePolicy):
+        def __init__(self):
+            self.n = 0
+
+        def on_schedule(self, now, when, stream):
+            self.n += 1
+            return when, -self.n  # later calls get lower priority
+
+    order = []
+    sim.set_policy(Flip())
+    for tag in range(4):
+        sim.schedule(1.0, order.append, tag)
+    sim.run_until_idle()
+    assert order == [3, 2, 1, 0]
+
+
+def test_policy_past_schedule_clamped_to_now(sim):
+    class Rewind(SchedulePolicy):
+        def on_schedule(self, now, when, stream):
+            return when - 100.0, 0
+
+    sim.set_policy(Rewind())
+    fired = []
+    sim.schedule(5.0, fired.append, 1)
+    sim.run_until_idle()
+    assert fired == [1]
+    assert sim.now == 0.0  # clamped to schedule-time now
+
+
+def test_policy_cannot_reorder_a_stream(sim):
+    class Jitter(SchedulePolicy):
+        """Delays the first event of the stream past the second."""
+
+        def __init__(self):
+            self.n = 0
+
+        def on_schedule(self, now, when, stream):
+            self.n += 1
+            if self.n == 1:
+                return when + 10.0, 5
+            return when, -5
+
+    order = []
+    sim.set_policy(Jitter())
+    sim.schedule(1.0, order.append, "first", stream="ch")
+    sim.schedule(2.0, order.append, "second", stream="ch")
+    sim.run_until_idle()
+    # the monotone floor pushes "second" to at least (11.0, 5)
+    assert order == ["first", "second"]
+    assert sim.now >= 11.0
+
+
+def test_policy_streams_are_independent(sim):
+    class DelayA(SchedulePolicy):
+        def on_schedule(self, now, when, stream):
+            if stream == "a":
+                return when + 10.0, 0
+            return when, 0
+
+    order = []
+    sim.set_policy(DelayA())
+    sim.schedule(1.0, order.append, "a1", stream="a")
+    sim.schedule(2.0, order.append, "b1", stream="b")
+    sim.run_until_idle()
+    assert order == ["b1", "a1"]
+
+
+def test_set_policy_resets_stream_floors(sim):
+    class Big(SchedulePolicy):
+        def on_schedule(self, now, when, stream):
+            return when + 50.0, 0
+
+    sim.set_policy(Big())
+    sim.schedule(1.0, lambda: None, stream="ch")
+    sim.set_policy(SchedulePolicy())
+    fired = []
+    sim.schedule(1.0, fired.append, 1, stream="ch")
+    sim.run(until=2.0)
+    # without the reset the old (51.0, 0) floor would delay this event
+    assert fired == [1]
