@@ -1,0 +1,89 @@
+"""Kernel event-dispatch benchmark with a committed regression baseline.
+
+Runs the standing suite from :mod:`repro.obs.bench` (trace-on vs
+trace-off pairs of full mutable-checkpoint runs) and compares
+*hardware-normalized* rates against ``BENCH_kernel.json`` at the repo
+root.
+
+Usage::
+
+    python benchmarks/bench_kernel.py              # run + compare
+    python benchmarks/bench_kernel.py --write      # (re)write the baseline
+    python benchmarks/bench_kernel.py --check      # exit 1 on >25% regression
+
+``--check`` is what CI's perf-smoke job runs. The comparison uses
+normalized rates (events/s divided by a same-machine calibration-loop
+rate), so the committed baseline is meaningful on different hardware;
+see docs/API.md for how to read the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs.bench import (  # noqa: E402
+    DEFAULT_THRESHOLD,
+    compare,
+    load_baseline,
+    run_bench_suite,
+)
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_kernel.json"
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--write", action="store_true",
+                        help="write the result as the new baseline")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero on regression vs the baseline")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative normalized-rate drop that fails "
+                        "--check (default 0.25)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per case; best rate is kept")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline JSON path")
+    args = parser.parse_args(argv)
+
+    report = run_bench_suite(repeats=args.repeats)
+    for row in report["results"]:
+        print(
+            f"{row['name']:28s} {row['events']:8d} events  "
+            f"{row['rate']:10.0f} ev/s  normalized {row['normalized_rate']:.5f}"
+        )
+    by_name = {r["name"]: r for r in report["results"]}
+    off = by_name.get("mutable_16p_trace_off")
+    on = by_name.get("mutable_16p_trace_on")
+    if off and on and on["rate"] > 0:
+        print(f"trace-off speedup over trace-on: {off['rate'] / on['rate']:.2f}x")
+
+    if args.write:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print(f"no baseline at {args.baseline}; run with --write to create one")
+        return 1 if args.check else 0
+    failures = compare(baseline, report, threshold=args.threshold)
+    if failures:
+        for line in failures:
+            print(f"REGRESSION: {line}")
+        return 1 if args.check else 0
+    print(f"no regression vs baseline (threshold {args.threshold * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

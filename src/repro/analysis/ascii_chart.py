@@ -8,7 +8,7 @@ series, log-or-linear x mapped to columns.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence, Union
 
 _MARKERS = "ox+*#@%"
 
@@ -74,4 +74,47 @@ def render_chart(
     lines.append(f"{'':>9}{legend}")
     if y_label:
         lines.append(f"{'':>9}y: {y_label}")
+    return "\n".join(lines)
+
+
+def render_histogram(
+    histogram: Union[Dict[str, Any], Any],
+    width: int = 48,
+    title: str = "",
+    max_rows: int = 12,
+) -> str:
+    """Render a metrics-registry histogram as horizontal count bars.
+
+    ``histogram`` is a :class:`repro.obs.registry.Histogram` instrument
+    or its ``to_dict()`` snapshot (as stored in ``RunResult.metrics``).
+    Empty buckets are skipped; at most ``max_rows`` of the fullest
+    buckets are shown so the power-of-two default bounds stay readable.
+    """
+    data = histogram if isinstance(histogram, dict) else histogram.to_dict()
+    bounds = list(data["bounds"])
+    counts = list(data["bucket_counts"])
+    total = data["count"]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if total == 0:
+        lines.append("(no samples)")
+        return "\n".join(lines)
+    occupied = [
+        (i, n) for i, n in enumerate(counts) if n > 0
+    ]
+    occupied.sort(key=lambda pair: pair[1], reverse=True)
+    shown = sorted(i for i, _ in occupied[:max_rows])
+    peak = max(n for _, n in occupied)
+    for i in shown:
+        upper = f"<= {bounds[i]:g}" if i < len(bounds) else f"> {bounds[-1]:g}"
+        bar = "#" * max(1, int(round(counts[i] / peak * width)))
+        lines.append(f"{upper:>14} |{bar} {counts[i]}")
+    hidden = len(occupied) - len(shown)
+    if hidden > 0:
+        lines.append(f"{'':>14} ({hidden} smaller buckets not shown)")
+    mean = data["total"] / total
+    lines.append(
+        f"{'':>14} n={total} mean={mean:g} min={data['min']:g} max={data['max']:g}"
+    )
     return "\n".join(lines)

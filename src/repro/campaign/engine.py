@@ -32,6 +32,8 @@ from repro.core.registry import build_protocol
 from repro.core.results import RunResult
 from repro.core.runner import ExperimentRunner
 from repro.core.system import MobileSystem
+from repro.obs.registry import MetricsRegistry
+from repro.sim.trace import TraceLevel
 from repro.workload.base import Workload
 
 
@@ -85,7 +87,9 @@ def execute_point(
         point = RunPoint.from_dict(point_dict)
         system, _, runner = build_point_runtime(point)
         if trace_dir is not None:
-            system.config = system.config.with_changes(trace_messages=True)
+            # The trace level is fixed at build time, so raise it on the
+            # live log (mutating config after build would not stick).
+            system.sim.trace.set_level(TraceLevel.DEBUG)
         result = runner.run(max_events=point.max_events)
         record = {
             "point_hash": point_hash,
@@ -139,6 +143,18 @@ class CampaignReport:
     def results(self) -> List[RunResult]:
         """Rehydrated results of the successful points, in grid order."""
         return [r.run_result() for r in self.records if r.ok]
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """Campaign-level aggregate of every successful point's metrics.
+
+        Snapshots are merged **in grid order**, never completion order,
+        and metric merge is associative — together these make the
+        aggregate independent of the worker count (``workers=N`` folds
+        to the same registry as ``workers=1``).
+        """
+        return MetricsRegistry.merged(
+            result.metrics for result in self.results() if result.metrics
+        )
 
     def rows(self) -> List[Dict[str, Any]]:
         """One flat dict per point: identity + the paper's metrics."""

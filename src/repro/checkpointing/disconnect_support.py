@@ -45,20 +45,22 @@ class MssProxyEnv(RuntimeEnv):
         message = SystemMessage(
             src_pid=self.pid, dst_pid=dst_pid, subkind=subkind, fields=fields
         )
-        self.system.monitor.increment("system_messages")
-        self.system.monitor.increment(f"system_messages_{subkind}")
-        self.system.sim.trace.record(
-            self.system.sim.now,
-            "sys_send",
-            src=self.pid,
-            dst=dst_pid,
-            subkind=subkind,
-            via_mss=True,
-        )
+        self._m_sys_messages.inc()
+        self.system.metrics.counter(f"system_messages_{subkind}").inc()
+        trace = self.system.sim.trace
+        if trace.debug_on:
+            trace.debug(
+                self.system.sim.now,
+                "sys_send",
+                src=self.pid,
+                dst=dst_pid,
+                subkind=subkind,
+                via_mss=True,
+            )
         self.mss.send(message)
 
     def broadcast_system(self, subkind: str, fields: Dict[str, Any]) -> int:
-        self.system.monitor.increment("broadcasts")
+        self._m_broadcasts.inc()
         sent = 0
         for pid in self.system.network.process_ids:
             if pid == self.pid:

@@ -67,7 +67,7 @@ class FailureInjector:
         self._handle_in_progress_checkpointing(pid)
 
     def _drop(self, message: Message) -> None:
-        self.system.monitor.increment("messages_to_failed")
+        self.system.metrics.counter("messages_to_failed").inc()
 
     # ------------------------------------------------------------------
     def _handle_in_progress_checkpointing(self, failed_pid: int) -> None:

@@ -122,8 +122,8 @@ class DistributedRecovery:
     # ------------------------------------------------------------------
     def _send(self, src: int, dst: int, subkind: str, fields: Dict) -> None:
         message = SystemMessage(src_pid=src, dst_pid=dst, subkind=subkind, fields=fields)
-        self.system.monitor.increment("system_messages")
-        self.system.monitor.increment(f"system_messages_{subkind}")
+        self.system.metrics.counter("system_messages").inc()
+        self.system.metrics.counter(f"system_messages_{subkind}").inc()
         self.system.network.send_from_process(src, message)
 
     def _roll_back_locally(self, process, incarnation: int) -> None:

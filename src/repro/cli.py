@@ -10,6 +10,7 @@ Subcommands::
     repro-sim table1                       the three-way comparison
     repro-sim campaign --preset fig5 ...   parallel sweep with resume
     repro-sim explore --seeds 100 ...      adversarial schedule fuzzing
+    repro-sim profile ...                  kernel profile of one run
 """
 
 from __future__ import annotations
@@ -133,6 +134,26 @@ def _build_parser() -> argparse.ArgumentParser:
                          "replayed traces are written")
     explore.add_argument("--quiet", action="store_true",
                          help="suppress per-seed progress lines")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one experiment under the kernel profiler and print "
+        "per-event-kind timing, heap stats, and the metrics snapshot",
+    )
+    profile.add_argument("--protocol", default="mutable",
+                         choices=available_protocols())
+    profile.add_argument("--processes", type=int, default=16)
+    profile.add_argument("--seed", type=int, default=42)
+    profile.add_argument("--rate", type=float, default=0.01,
+                         help="messages per second per process")
+    profile.add_argument("--initiations", type=int, default=10)
+    profile.add_argument("--trace-messages", action="store_true",
+                         help="profile with DEBUG message tracing on "
+                         "(default: off, the throughput configuration)")
+    profile.add_argument("--top", type=int, default=15,
+                         help="event kinds to show (by total time)")
+    profile.add_argument("--json", metavar="PATH",
+                         help="also dump profile + metrics as JSON")
     return parser
 
 
@@ -329,6 +350,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profiler import KernelProfiler
+
+    config = SystemConfig(
+        n_processes=args.processes,
+        seed=args.seed,
+        trace_messages=args.trace_messages,
+    )
+    system = MobileSystem(config, build_protocol(args.protocol))
+    workload = PointToPointWorkload(
+        system, PointToPointWorkloadConfig(1.0 / args.rate)
+    )
+    runner = ExperimentRunner(
+        system, workload, RunConfig(max_initiations=args.initiations)
+    )
+    profiler = KernelProfiler()
+    system.sim.set_profiler(profiler)
+    with profiler.span("run"):
+        runner.run()
+    system.sim.flush_metrics()
+    print(profiler.table(limit=args.top))
+    print()
+    snapshot = system.metrics.snapshot()
+    print("metrics (counters):")
+    for name, value in snapshot["counters"].items():
+        print(f"  {name:40s} {value:g}")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"profile": profiler.to_dict(), "metrics": snapshot},
+                fh, indent=2, sort_keys=True,
+            )
+        print(f"\nprofile written to {args.json}")
+    return 0
+
+
 def _cmd_figures() -> int:
     from repro.scenarios.figures import all_figures
 
@@ -374,6 +433,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_campaign(args)
     if args.command == "explore":
         return _cmd_explore(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "report":
         from repro.reporting import ReportScale, write_report
 

@@ -57,6 +57,11 @@ class AppProcess:
         self.total_blocked_time = 0.0
         self._deferred_sends: List[Tuple[int, Any]] = []
         self._deferred_receives: List[ComputationMessage] = []
+        # Hot-path instruments resolved once (send/deliver run per message).
+        metrics = system.metrics
+        self._m_comp_messages = metrics.counter("computation_messages")
+        self._m_stale_dropped = metrics.counter("stale_incarnation_dropped")
+        self._m_blocking_time = metrics.histogram("blocking_time")
         host.attach_process(pid, self.on_message)
 
     # -- application actions ------------------------------------------------
@@ -75,15 +80,16 @@ class AppProcess:
             message.piggyback["inc"] = self.incarnation
         self.protocol_process.on_send_computation(message)
         self.app_state["messages_sent"] += 1
-        if self.system.config.trace_messages:
-            self.system.sim.trace.record(
+        trace = self.system.sim.trace
+        if trace.debug_on:
+            trace.debug(
                 self.system.sim.now,
                 "comp_send",
                 src=self.pid,
                 dst=dst_pid,
                 msg_id=message.msg_id,
             )
-        self.system.monitor.increment("computation_messages")
+        self._m_comp_messages.inc()
         self.system.workload_send(self, message)
         self.system.network.send_from_process(self.pid, message)
 
@@ -106,7 +112,7 @@ class AppProcess:
         elif isinstance(message, ComputationMessage):
             if message.piggyback.get("inc", 0) < self.incarnation:
                 # A ghost from a rolled-back incarnation: drop it.
-                self.system.monitor.increment("stale_incarnation_dropped")
+                self._m_stale_dropped.inc()
                 return
             if self.blocked:
                 self._deferred_receives.append(message)
@@ -127,8 +133,9 @@ class AppProcess:
         self.vc.tick()
         self.app_state["messages_received"] += 1
         self.app_state["steps"] += 1
-        if self.system.config.trace_messages:
-            self.system.sim.trace.record(
+        trace = self.system.sim.trace
+        if trace.debug_on:
+            trace.debug(
                 self.system.sim.now,
                 "comp_recv",
                 src=message.src_pid,
@@ -154,7 +161,7 @@ class AppProcess:
         assert self.blocked_since is not None
         duration = self.system.sim.now - self.blocked_since
         self.total_blocked_time += duration
-        self.system.monitor.observe("blocking_time", duration)
+        self._m_blocking_time.observe(duration)
         self.blocked_since = None
         self.system.sim.trace.record(self.system.sim.now, "unblocked", pid=self.pid)
         receives, self._deferred_receives = self._deferred_receives, []
@@ -193,6 +200,9 @@ class RuntimeEnv(ProcessEnv):
         self.system = process.system
         self.pid = process.pid
         self.n = self.system.config.n_processes
+        metrics = self.system.metrics
+        self._m_sys_messages = metrics.counter("system_messages")
+        self._m_broadcasts = metrics.counter("broadcasts")
 
     def now(self) -> float:
         return self.system.sim.now
@@ -201,18 +211,23 @@ class RuntimeEnv(ProcessEnv):
         message = SystemMessage(
             src_pid=self.pid, dst_pid=dst_pid, subkind=subkind, fields=fields
         )
-        self.system.monitor.increment("system_messages")
-        self.system.monitor.increment(f"system_messages_{subkind}")
-        self.system.sim.trace.record(
-            self.system.sim.now, "sys_send", src=self.pid, dst=dst_pid, subkind=subkind
-        )
+        self._m_sys_messages.inc()
+        self.system.metrics.counter(f"system_messages_{subkind}").inc()
+        trace = self.system.sim.trace
+        if trace.debug_on:
+            trace.debug(
+                self.system.sim.now, "sys_send",
+                src=self.pid, dst=dst_pid, subkind=subkind,
+            )
         self.system.network.send_from_process(self.pid, message)
 
     def broadcast_system(self, subkind: str, fields: Dict[str, Any]) -> int:
-        self.system.monitor.increment("broadcasts")
-        self.system.sim.trace.record(
-            self.system.sim.now, "sys_broadcast", src=self.pid, subkind=subkind
-        )
+        self._m_broadcasts.inc()
+        trace = self.system.sim.trace
+        if trace.debug_on:
+            trace.debug(
+                self.system.sim.now, "sys_broadcast", src=self.pid, subkind=subkind
+            )
         return self.system.network.broadcast_system(
             self.pid,
             lambda pid: SystemMessage(
@@ -228,13 +243,13 @@ class RuntimeEnv(ProcessEnv):
 
     def save_mutable(self, record: CheckpointRecord) -> None:
         self.process.local_store.save(record)
-        self.system.monitor.increment("mutable_checkpoints")
+        self.system.metrics.counter("mutable_checkpoints").inc()
 
     def transfer_to_stable(
         self, record: CheckpointRecord, on_saved: Callable[[], None]
     ) -> None:
         record.size_bytes = self.system.config.checkpoint_size_bytes
-        self.system.monitor.increment("stable_transfers")
+        self.system.metrics.counter("stable_transfers").inc()
         host = self.process.host
         if isinstance(host, MobileHost):
             data = CheckpointDataMessage(

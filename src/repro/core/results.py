@@ -25,6 +25,10 @@ class RunResult:
     total_blocked_time: float = 0.0
     sim_time: float = 0.0
     wall_events: int = 0
+    #: full :meth:`repro.obs.registry.MetricsRegistry.snapshot` of the
+    #: run — counters (same values as ``counters``), gauges, histograms.
+    #: Empty for results recorded before the observability layer.
+    metrics: Dict = field(default_factory=dict)
 
     @property
     def n_initiations(self) -> int:
@@ -71,6 +75,7 @@ class RunResult:
             "total_blocked_time": self.total_blocked_time,
             "sim_time": self.sim_time,
             "wall_events": self.wall_events,
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -87,6 +92,7 @@ class RunResult:
             total_blocked_time=data["total_blocked_time"],
             sim_time=data["sim_time"],
             wall_events=data["wall_events"],
+            metrics=data.get("metrics", {}),
         )
 
     def row(self) -> Dict[str, float]:

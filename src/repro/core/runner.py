@@ -188,13 +188,15 @@ class ExperimentRunner:
         total_blocked = sum(
             p.total_blocked_time for p in self.system.processes.values()
         )
+        self.system.sim.flush_metrics()
         return RunResult(
             protocol=self.system.protocol.name,
             n_processes=self.system.config.n_processes,
             seed=self.system.config.seed,
             initiations=measured,
-            counters=self.system.monitor.counters(),
+            counters=self.system.metrics.counters(),
             total_blocked_time=total_blocked,
             sim_time=self.system.sim.now,
             wall_events=self.system.sim.events_processed,
+            metrics=self.system.metrics.snapshot(),
         )

@@ -28,9 +28,10 @@ from repro.net.message import ComputationMessage, reset_message_ids
 from repro.net.mh import MobileHost
 from repro.net.mss import MobileSupportStation
 from repro.net.network import MobileNetwork
+from repro.obs.registry import MetricsRegistry
 from repro.sim.kernel import Simulator
-from repro.sim.monitor import Monitor
 from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceLevel
 
 DeliverHook = Callable[[AppProcess, ComputationMessage], None]
 
@@ -57,9 +58,16 @@ class MobileSystem:
         reset_checkpoint_ids()
         reset_message_ids()
         self.sim = Simulator()
-        self.sim.trace.enabled = True
+        # Message-level (DEBUG) records are the bulk of trace volume; the
+        # level is fixed at build time so hot-path emitters can check one
+        # bool (`trace.debug_on`) instead of re-reading config.
+        self.sim.trace.set_level(
+            TraceLevel.DEBUG if config.trace_messages else TraceLevel.INFO
+        )
         self.streams = RandomStreams(config.seed)
-        self.monitor = Monitor()
+        #: the run's metrics registry, shared with the kernel; every
+        #: layer (net, protocol, kernel) publishes named instruments here
+        self.metrics: MetricsRegistry = self.sim.metrics
         self.network = MobileNetwork(self.sim, config.network)
         self._deliver_hooks: List[DeliverHook] = []
         self._send_hooks: List[DeliverHook] = []
@@ -96,6 +104,11 @@ class MobileSystem:
             )
             self.stable_storage_for(pid).store(initial)
             self.sim.trace.record(0.0, "permanent", pid=pid, trigger=None, ckpt_id=initial.ckpt_id)
+
+    @property
+    def monitor(self) -> MetricsRegistry:
+        """Back-compat alias for :attr:`metrics` (the old Monitor slot)."""
+        return self.metrics
 
     # -- lookups ---------------------------------------------------------
     def process(self, pid: int) -> AppProcess:

@@ -22,6 +22,7 @@ from collections import deque
 from typing import Callable, Deque, Optional, Tuple
 
 from repro.net.message import Message
+from repro.obs.registry import Counter
 from repro.sim.kernel import Simulator
 
 DeliverFn = Callable[[Message], None]
@@ -42,6 +43,12 @@ class FifoChannel:
         Callback invoked at the destination when a message arrives.
     name:
         Label used in traces and repr.
+    link_class:
+        Aggregation key for the metrics registry: traffic is added to
+        the ``net.<link_class>.bytes`` / ``net.<link_class>.msgs``
+        counters of ``sim.metrics`` ("wired", "wireless", ...). ``None``
+        leaves the channel out of the registry (per-channel
+        ``bytes_sent``/``messages_sent`` still accumulate).
     """
 
     def __init__(
@@ -52,6 +59,7 @@ class FifoChannel:
         deliver: DeliverFn,
         name: str = "channel",
         contention: bool = False,
+        link_class: Optional[str] = None,
     ) -> None:
         if bandwidth_bps <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth_bps!r}")
@@ -67,9 +75,18 @@ class FifoChannel:
         self._last_arrival = 0.0
         self._paused = False
         self._pending_while_paused: Deque[Message] = deque()
-        # (bytes, messages) counters for energy/overhead accounting.
+        # Per-channel (bytes, messages) counters for energy/overhead
+        # accounting (per-host granularity that the registry's link-class
+        # aggregates deliberately do not carry).
         self.bytes_sent = 0
         self.messages_sent = 0
+        if link_class is not None:
+            self._c_bytes = sim.metrics.counter(f"net.{link_class}.bytes")
+            self._c_msgs = sim.metrics.counter(f"net.{link_class}.msgs")
+        else:
+            # Unregistered sinks: same code path, not in any snapshot.
+            self._c_bytes = Counter(f"{name}.bytes")
+            self._c_msgs = Counter(f"{name}.msgs")
 
     @property
     def paused(self) -> bool:
@@ -122,12 +139,16 @@ class FifoChannel:
         self._busy_until = start + self.transmission_delay(message)
         self.bytes_sent += message.size_bytes
         self.messages_sent += 1
+        self._c_bytes.inc(message.size_bytes)
+        self._c_msgs.inc()
         return self._busy_until
 
     def _transmit(self, message: Message) -> None:
         now = self.sim.now
         self.bytes_sent += message.size_bytes
         self.messages_sent += 1
+        self._c_bytes.inc(message.size_bytes)
+        self._c_msgs.inc()
         if self.contention:
             start = max(now, self._busy_until)
             finish = start + self.transmission_delay(message)
@@ -155,14 +176,28 @@ class InstantChannel:
     relative order of sends is preserved and handlers never reenter.
     """
 
-    def __init__(self, sim: Simulator, deliver: DeliverFn, name: str = "instant") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        deliver: DeliverFn,
+        name: str = "instant",
+        link_class: Optional[str] = None,
+    ) -> None:
         self.sim = sim
         self.deliver = deliver
         self.name = name
         self.bytes_sent = 0
         self.messages_sent = 0
+        if link_class is not None:
+            self._c_bytes = sim.metrics.counter(f"net.{link_class}.bytes")
+            self._c_msgs = sim.metrics.counter(f"net.{link_class}.msgs")
+        else:
+            self._c_bytes = Counter(f"{name}.bytes")
+            self._c_msgs = Counter(f"{name}.msgs")
 
     def send(self, message: Message) -> None:
         self.bytes_sent += message.size_bytes
         self.messages_sent += 1
+        self._c_bytes.inc(message.size_bytes)
+        self._c_msgs.inc()
         self.sim.schedule(0.0, self.deliver, message, stream=self)

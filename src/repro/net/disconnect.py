@@ -135,6 +135,7 @@ def disconnect(
     mh.detach()
     network.forget_mh_location(mh)
     mh.disconnected = True
+    network.sim.metrics.counter("net.disconnects").inc()
     network.sim.trace.record(
         network.sim.now, "disconnect", mh=mh.name, mss=mss.name, sn=record.last_recv_sn
     )
@@ -169,6 +170,11 @@ def reconnect(
     # Transfer support information and replay buffered messages in order.
     # Buffered traffic is re-routed from the old MSS so it pays the wired
     # transfer cost to the new cell.
+    network.sim.metrics.counter("net.reconnects").inc()
+    if record.buffered:
+        network.sim.metrics.counter("net.buffered_replayed").inc(
+            len(record.buffered)
+        )
     for message in record.buffered:
         network.route_from_mss(old_mss, message)
     network.sim.trace.record(

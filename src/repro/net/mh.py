@@ -68,6 +68,7 @@ class MobileHost(Host):
             mss.on_wireless_arrival,
             name=f"{self.name}->{mss.name}",
             contention=params.model_contention,
+            link_class="wireless",
         )
         downlink = FifoChannel(
             self.sim,
@@ -76,6 +77,7 @@ class MobileHost(Host):
             self.on_downlink_arrival,
             name=f"{mss.name}->{self.name}",
             contention=params.model_contention,
+            link_class="wireless",
         )
         mss.register_mh(self, downlink)
         self.network.note_mh_location(self, mss)
@@ -114,6 +116,7 @@ class MobileHost(Host):
         if self.dozing:
             self.dozing = False
             self.wakeups += 1
+            self.sim.metrics.counter("net.wakeups").inc()
             self.doze_time += self.sim.now - self._doze_started
         self.last_activity = self.sim.now
         self._downlink_counter += 1
@@ -146,7 +149,7 @@ class MobileHost(Host):
             start = max(self.sim.now, mss.bulk_busy_until)
             finish = start + tx_time
             mss.bulk_busy_until = finish
-            mss.bulk_bytes += data.size_bytes
+            self.sim.metrics.counter("net.bulk_bytes").inc(data.size_bytes)
             self.sim.schedule_at(
                 finish + params.wireless_latency,
                 mss.on_wireless_arrival,

@@ -30,9 +30,9 @@ class MobileSupportStation(Host):
         self.attached_mhs: Dict[str, "MobileHost"] = {}
         self._downlinks: Dict[str, "FifoChannel"] = {}
         # Shared-medium accounting for bulk checkpoint transfers within
-        # this cell (see NetworkParams.shared_cell_medium).
+        # this cell (see NetworkParams.shared_cell_medium). Bulk volume
+        # itself is counted in the registry (``net.bulk_bytes``).
         self.bulk_busy_until = 0.0
-        self.bulk_bytes = 0
         # Assigned by the system builder; kept loosely typed so the net
         # layer does not depend on the checkpointing layer.
         self.stable_storage: Any = None

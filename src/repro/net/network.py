@@ -38,9 +38,20 @@ class MobileNetwork:
         self._host_of_pid: Dict[int, Host] = {}
         self._mss_of_mh: Dict[str, MobileSupportStation] = {}
         self._wired: Dict[Tuple[str, str], FifoChannel] = {}
-        #: total system-wide counters, used by the cost accounting
-        self.wired_messages = 0
-        self.wireless_messages = 0
+        # System-wide routing counters, published to the run's registry
+        # (the old `wired_messages`/`wireless_messages` int fields).
+        self._c_wired_routed = sim.metrics.counter("net.wired.routed")
+        self._c_wireless_sends = sim.metrics.counter("net.wireless.sends")
+
+    @property
+    def wired_messages(self) -> int:
+        """Messages routed over the backbone (registry-backed)."""
+        return int(self._c_wired_routed.value)
+
+    @property
+    def wireless_messages(self) -> int:
+        """Process sends that crossed a wireless uplink (registry-backed)."""
+        return int(self._c_wireless_sends.value)
 
     # -- topology construction ------------------------------------------------
     def add_mss(self, name: Optional[str] = None) -> MobileSupportStation:
@@ -108,6 +119,7 @@ class MobileNetwork:
                 dst.on_wired_arrival,
                 name=f"{src.name}=>{dst.name}",
                 contention=self.params.model_contention,
+                link_class="wired",
             )
             self._wired[key] = channel
         return channel
@@ -132,21 +144,21 @@ class MobileNetwork:
             if holder is mss:
                 mss.deliver_local(message)
             else:
-                self.wired_messages += 1
+                self._c_wired_routed.inc()
                 self.wired_channel(mss, holder).send(message)
             return
         serving = self.mss_serving(dst_host)
         if serving is mss:
             mss.deliver_local(message)
         else:
-            self.wired_messages += 1
+            self._c_wired_routed.inc()
             self.wired_channel(mss, serving).send(message)
 
     def send_from_process(self, src_pid: int, message: Message) -> None:
         """Entry point used by process runtimes to send ``message``."""
         host = self.host_of_process(src_pid)
         if isinstance(host, MobileHost):
-            self.wireless_messages += 1
+            self._c_wireless_sends.inc()
         host.send(message)
 
     def _find_disconnect_holder(

@@ -1,0 +1,36 @@
+"""Observability: metrics registry, kernel profiler, benchmark harness.
+
+The simulator is judged by counted quantities — checkpoints forced,
+system messages, blocking time (the paper's Figs. 5/6 and Table 1) —
+and by how fast the kernel dispatches events. This package gives both
+first-class infrastructure:
+
+* :mod:`repro.obs.registry` — named instruments (counters, gauges,
+  histograms) with deterministic, losslessly serializable snapshots and
+  an associative merge, so per-worker metrics fold into campaign-level
+  aggregates bit-identically for any worker count;
+* :mod:`repro.obs.profiler` — span-based profiling of the DES kernel
+  (per-event-kind timing, dispatch counts, heap statistics), exposed via
+  ``repro-sim profile``;
+* :mod:`repro.obs.bench` — the kernel benchmark behind
+  ``benchmarks/bench_kernel.py`` and the committed ``BENCH_kernel.json``
+  baseline (hardware-normalized regression checking).
+
+Instrument naming scheme (see docs/API.md): dotted ``layer.component``
+paths for infrastructure metrics (``net.wireless.bytes``,
+``kernel.events``); the paper's protocol-level counters keep their
+historical flat names (``system_messages``, ``mutable_checkpoints``)
+because they are part of the result wire format.
+"""
+
+from repro.obs.profiler import KernelProfiler, SpanStat
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelProfiler",
+    "MetricsRegistry",
+    "SpanStat",
+]

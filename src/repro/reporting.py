@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.analysis.ascii_chart import render_histogram
 from repro.analysis.comparison import (
     CostParameters,
     analytic_table,
@@ -186,6 +187,39 @@ def _minimality_section(scale: ReportScale) -> List[str]:
     ]
 
 
+def _observability_section(scale: ReportScale) -> List[str]:
+    """Metrics of one representative run, straight from the registry.
+
+    Everything here is read from ``RunResult.metrics`` (the
+    :mod:`repro.obs` snapshot carried by every result), never from
+    protocol or network internals — the same numbers a campaign or a
+    JSON consumer would see.
+    """
+    _, result = _run(
+        MutableCheckpointProtocol(),
+        lambda s: PointToPointWorkload(
+            s, PointToPointWorkloadConfig(scale.table1_interval)
+        ),
+        scale,
+    )
+    snapshot = result.metrics
+    lines = ["## Observability — metrics registry snapshot", ""]
+    lines.append("| counter | value |")
+    lines.append("|---|---:|")
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        lines.append(f"| `{name}` | {value:g} |")
+    lines.append("")
+    blocking = snapshot.get("histograms", {}).get("blocking_time")
+    if blocking:
+        lines.append("```")
+        lines.append(
+            render_histogram(blocking, title="blocking_time (seconds)")
+        )
+        lines.append("```")
+        lines.append("")
+    return lines
+
+
 def generate_report(scale: Optional[ReportScale] = None) -> str:
     """Run everything and return the markdown report."""
     scale = scale if scale is not None else ReportScale()
@@ -201,6 +235,7 @@ def generate_report(scale: Optional[ReportScale] = None) -> str:
     sections += _table1_section(scale)
     sections += _figures_section()
     sections += _minimality_section(scale)
+    sections += _observability_section(scale)
     sections.append(f"_Generated in {time.time() - started:.1f} s wall time._")
     sections.append("")
     return "\n".join(sections)

@@ -16,11 +16,16 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import ScheduleInPastError, SimulationError
+from repro.obs.registry import MetricsRegistry
 from repro.sim.events import Event, Timer
 from repro.sim.trace import TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.profiler import KernelProfiler
 
 
 class SchedulePolicy:
@@ -84,12 +89,19 @@ class Simulator:
         Optional :class:`SchedulePolicy` consulted on every schedule
         call. Without one the kernel behaves exactly as before (pure
         ``(time, seq)`` order).
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` shared by
+        every entity in the simulation (one is created if omitted). The
+        kernel keeps its own hot counters as plain ints and publishes
+        them via :meth:`flush_metrics`, so the event loop pays nothing
+        for metrics until someone asks for a snapshot.
     """
 
     def __init__(
         self,
         trace: Optional[TraceLog] = None,
         policy: Optional[SchedulePolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._queue: List[Event] = []
         self._seq = count()
@@ -97,8 +109,12 @@ class Simulator:
         self._events_processed: int = 0
         self._running = False
         self._policy = policy
+        self._profiler: Optional["KernelProfiler"] = None
         self._stream_floors: Dict[Hashable, Tuple[float, int]] = {}
         self.trace: TraceLog = trace if trace is not None else TraceLog()
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
 
     @property
     def now(self) -> float:
@@ -121,9 +137,37 @@ class Simulator:
         self._stream_floors.clear()
 
     @property
+    def profiler(self) -> Optional["KernelProfiler"]:
+        """The attached :class:`~repro.obs.profiler.KernelProfiler`, if any."""
+        return self._profiler
+
+    def set_profiler(self, profiler: Optional["KernelProfiler"]) -> None:
+        """Attach (or detach) a kernel profiler.
+
+        While attached, every dispatched event is wall-clock timed and
+        attributed to its callback's qualified name, and heap pushes /
+        cancelled pops are counted. Detached runs pay one ``is not
+        None`` check per event.
+        """
+        self._profiler = profiler
+
+    @property
     def events_processed(self) -> int:
         """Number of events whose callbacks have been invoked."""
         return self._events_processed
+
+    def flush_metrics(self) -> None:
+        """Publish the kernel's counters into the metrics registry.
+
+        Sets ``kernel.events_processed`` and ``kernel.pending_events``
+        from the kernel's internal tallies. Idempotent — call it right
+        before taking a snapshot.
+        """
+        self.metrics.gauge("kernel.events_processed").set(
+            float(self._events_processed)
+        )
+        self.metrics.gauge("kernel.pending_events").set(float(len(self._queue)))
+        self.metrics.gauge("kernel.now").set(self._now)
 
     @property
     def pending_events(self) -> int:
@@ -173,6 +217,8 @@ class Simulator:
                 self._stream_floors[stream] = (when, priority)
         event = Event(when, next(self._seq), callback, args, priority=priority)
         heapq.heappush(self._queue, event)
+        if self._profiler is not None:
+            self._profiler.on_push(len(self._queue))
         return event
 
     def timer(self, callback: Callable[[], Any]) -> Timer:
@@ -187,10 +233,19 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                if self._profiler is not None:
+                    self._profiler.on_cancelled_pop()
                 continue
             self._now = event.time
             self._events_processed += 1
-            event.callback(*event.args)
+            if self._profiler is not None:
+                started = perf_counter()
+                event.callback(*event.args)
+                self._profiler.on_event(
+                    event.callback, perf_counter() - started, len(self._queue)
+                )
+            else:
+                event.callback(*event.args)
             return True
         return False
 
@@ -222,6 +277,8 @@ class Simulator:
                 head = self._queue[0]
                 if head.cancelled:
                     heapq.heappop(self._queue)
+                    if self._profiler is not None:
+                        self._profiler.on_cancelled_pop()
                     continue
                 if until is not None and head.time > until:
                     break
@@ -235,7 +292,14 @@ class Simulator:
                 heapq.heappop(self._queue)
                 self._now = head.time
                 self._events_processed += 1
-                head.callback(*head.args)
+                if self._profiler is not None:
+                    started = perf_counter()
+                    head.callback(*head.args)
+                    self._profiler.on_event(
+                        head.callback, perf_counter() - started, len(self._queue)
+                    )
+                else:
+                    head.callback(*head.args)
             if until is not None and self._now < until:
                 self._now = until
         finally:

@@ -4,6 +4,14 @@ A :class:`Monitor` is a bag of named metrics that entities update as the
 simulation runs. It is intentionally dumber than the trace log — metrics
 are for cheap aggregate accounting (counts, sums, sampled series), while
 the trace is for event-level verification.
+
+.. deprecated::
+    The simulation itself now publishes through
+    :class:`repro.obs.registry.MetricsRegistry` (``sim.metrics``), which
+    speaks this class's ``increment``/``observe`` vocabulary and adds
+    named instruments, snapshots, and associative merging.
+    :class:`Monitor` remains as a standalone utility for scripts that
+    want a lightweight tally bag with time series.
 """
 
 from __future__ import annotations

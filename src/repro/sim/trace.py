@@ -6,12 +6,41 @@ commit, handoff — is appended to a :class:`TraceLog` as a
 verification layer (:mod:`repro.analysis.consistency`): the consistency
 checkers never look at protocol state, only at the trace, so they are
 independent witnesses of protocol correctness.
+
+Tracing is leveled. Protocol lifecycle records (initiations, tentative
+checkpoints, commits, aborts) are **INFO** and always kept while the log
+is on — results collection and the consistency checkers depend on them.
+Per-message records (``comp_send``, ``sys_send``, ...) are **DEBUG**:
+they dominate trace volume, so hot-path emitters check the
+:attr:`TraceLog.debug_on` flag *before* building the record and skip all
+work when message tracing is off. ``explore`` and message-level analyses
+run at DEBUG for full fidelity; throughput runs stay at INFO.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+class TraceLevel:
+    """Trace verbosity thresholds (lower is chattier).
+
+    * ``DEBUG`` — per-message records; bulk of trace volume.
+    * ``INFO`` — protocol lifecycle records; required by analysis.
+    * ``OFF`` — nothing is recorded at all.
+    """
+
+    DEBUG = 10
+    INFO = 20
+    OFF = 100
+
+    _NAMES = {DEBUG: "DEBUG", INFO: "INFO", OFF: "OFF"}
+
+    @classmethod
+    def name(cls, level: int) -> str:
+        return cls._NAMES.get(level, str(level))
 
 
 @dataclass(frozen=True)
@@ -41,13 +70,61 @@ class TraceRecord:
 
 
 class TraceLog:
-    """An append-only list of :class:`TraceRecord` with query helpers."""
+    """An append-only list of :class:`TraceRecord` with query helpers.
 
-    def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
+    Parameters
+    ----------
+    enabled:
+        Back-compat master switch; ``False`` is equivalent to
+        ``level=TraceLevel.OFF``.
+    level:
+        Records below this level are skipped. The default ``DEBUG``
+        keeps everything (the historical behaviour of a bare
+        ``TraceLog()``).
+    sample_every:
+        Keep only every N-th DEBUG record (deterministic counter-based
+        sampling; INFO records are never sampled out). ``1`` keeps all.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        level: int = TraceLevel.DEBUG,
+        sample_every: int = 1,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
         self._records: List[TraceRecord] = []
         self._subscribers: List[Callable[[TraceRecord], None]] = []
+        self.sample_every = sample_every
+        self._debug_seen = 0
+        self._level = TraceLevel.OFF  # set_level below fixes the flags
+        self.set_level(level if enabled else TraceLevel.OFF)
 
+    # -- level management --------------------------------------------------
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def set_level(self, level: int) -> None:
+        """Set the verbosity and refresh the hot-path fast flags."""
+        self._level = level
+        # Emitters read these plain bools instead of comparing levels, so
+        # a trace-off (or INFO) run skips record/field construction with
+        # a single attribute load.
+        self.debug_on = level <= TraceLevel.DEBUG
+        self.info_on = level <= TraceLevel.INFO
+
+    @property
+    def enabled(self) -> bool:
+        """Back-compat view: is anything being recorded?"""
+        return self._level < TraceLevel.OFF
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self.set_level(TraceLevel.DEBUG if value else TraceLevel.OFF)
+
+    # -- recording ---------------------------------------------------------
     def __len__(self) -> int:
         return len(self._records)
 
@@ -55,8 +132,26 @@ class TraceLog:
         return iter(self._records)
 
     def record(self, time: float, kind: str, **fields: Any) -> None:
-        """Append a record (no-op when the log is disabled)."""
-        if not self.enabled:
+        """Append an INFO-level record (no-op when the log is off)."""
+        if not self.info_on:
+            return
+        rec = TraceRecord(time, kind, fields)
+        self._records.append(rec)
+        for subscriber in self._subscribers:
+            subscriber(rec)
+
+    def debug(self, time: float, kind: str, **fields: Any) -> None:
+        """Append a DEBUG-level record (subject to sampling).
+
+        Hot-path emitters should guard the *call itself* with
+        :attr:`debug_on` so the record kwargs are never even built when
+        message tracing is off; this method re-checks only as a safety
+        net for unguarded callers.
+        """
+        if not self.debug_on:
+            return
+        self._debug_seen += 1
+        if self.sample_every > 1 and self._debug_seen % self.sample_every:
             return
         rec = TraceRecord(time, kind, fields)
         self._records.append(rec)
@@ -67,6 +162,7 @@ class TraceLog:
         """Invoke ``callback`` for every subsequently recorded entry."""
         self._subscribers.append(callback)
 
+    # -- queries -----------------------------------------------------------
     def of_kind(self, *kinds: str) -> List[TraceRecord]:
         """All records whose kind is one of ``kinds``, in time order."""
         wanted = set(kinds)
@@ -100,6 +196,7 @@ class TraceLog:
     def clear(self) -> None:
         """Drop all records (subscribers are retained)."""
         self._records.clear()
+        self._debug_seen = 0
 
     def kinds(self) -> Tuple[str, ...]:
         """The distinct record kinds present, in first-seen order."""
@@ -107,3 +204,18 @@ class TraceLog:
         for r in self._records:
             seen.setdefault(r.kind, None)
         return tuple(seen)
+
+    def content_hash(self) -> str:
+        """SHA-256 over a canonical rendering of every record.
+
+        Two logs hash equal iff they hold the same records in the same
+        order (fields compared by sorted key) — the determinism tests'
+        byte-level witness that two runs traced identically.
+        """
+        digest = hashlib.sha256()
+        for r in self._records:
+            fields = ",".join(
+                f"{k}={r.fields[k]!r}" for k in sorted(r.fields)
+            )
+            digest.update(f"{r.time!r}|{r.kind}|{fields}\n".encode())
+        return digest.hexdigest()

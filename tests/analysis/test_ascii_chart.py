@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.ascii_chart import render_chart
+from repro.analysis.ascii_chart import render_chart, render_histogram
+from repro.obs.registry import Histogram
 
 
 def test_basic_render_contains_markers_and_legend():
@@ -57,3 +58,32 @@ def test_height_and_width_respected():
     rows = [l for l in out.splitlines() if l.rstrip().endswith("|")]
     assert len(rows) == 5
     assert all(len(r.split("|")[1]) == 20 for r in rows)
+
+
+# -- render_histogram --------------------------------------------------
+def test_histogram_render_from_instrument_and_snapshot():
+    h = Histogram("lat", bounds=(1.0, 2.0, 4.0))
+    for v in (0.5, 0.5, 3.0):
+        h.observe(v)
+    for rendered in (render_histogram(h), render_histogram(h.to_dict())):
+        assert "<= 1" in rendered
+        assert "<= 4" in rendered
+        assert "n=3" in rendered
+        assert "##" in rendered
+
+
+def test_histogram_render_empty():
+    out = render_histogram(Histogram("e"), title="empty")
+    assert out.splitlines() == ["empty", "(no samples)"]
+
+
+def test_histogram_render_overflow_and_row_cap():
+    h = Histogram("h", bounds=(1.0, 2.0))
+    h.observe(10.0)                      # overflow bucket
+    out = render_histogram(h)
+    assert "> 2" in out
+    wide = Histogram("w")
+    for v in (0.001, 0.01, 0.1, 1.0, 10.0, 100.0):
+        wide.observe(v)
+    capped = render_histogram(wide, max_rows=2)
+    assert "(4 smaller buckets not shown)" in capped

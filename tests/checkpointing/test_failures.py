@@ -36,7 +36,7 @@ def test_failed_process_drops_messages():
     injector = FailureInjector(system)
     injector.fail_process(3)
     system.sim.run(until=system.sim.now + 100.0)
-    assert system.monitor.counter("messages_to_failed") > 0
+    assert system.metrics.value("messages_to_failed") > 0
     assert system.sim.trace.count("failure", pid=3) == 1
 
 

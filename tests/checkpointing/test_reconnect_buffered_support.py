@@ -1,0 +1,100 @@
+"""Paper-proof edge case: disconnect, buffered support info, reconnect.
+
+Theorem 1's proof (Case 3) covers a process that is disconnected while a
+checkpoint wave runs: its MSS answers the wave from the saved disconnect
+checkpoint and dependency information, buffers everything else, and on
+reconnection — possibly at a *different* MSS — transfers the support
+information and replays the buffer so the process rejoins with a
+consistent view.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.consistency import assert_line_consistent, latest_permanent_line
+from repro.checkpointing.disconnect_support import (
+    disconnect_process,
+    reconnect_process,
+)
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.core.config import SystemConfig
+from repro.core.system import MobileSystem
+
+
+def build(seed=47, n=5):
+    config = SystemConfig(n_processes=n, seed=seed, n_mss=2)
+    return MobileSystem(config, MutableCheckpointProtocol())
+
+
+def exchange(system, src, dst):
+    system.processes[src].send_computation(dst)
+    system.sim.run_until_idle()
+
+
+def test_wave_during_disconnect_then_reconnect_elsewhere():
+    """The full Case 3 storyline: dependency, disconnect, traffic
+    buffered, wave answered by the MSS, reconnect at the other cell,
+    buffer replayed, and a second wave proves the process is whole."""
+    system = build()
+    exchange(system, 0, 1)                       # P1 z-depends on P0
+    record = disconnect_process(system, 0)
+    assert system.metrics.value("net.disconnects") == 1
+
+    # Traffic addressed to the absent process piles up at the old MSS.
+    system.processes[2].send_computation(0)
+    system.processes[3].send_computation(0)
+    system.sim.run_until_idle()
+    assert system.processes[0].app_state["messages_received"] == 0
+
+    # The wave runs while P0 is away: its MSS converts the disconnect
+    # checkpoint on its behalf and the commit does not wait.
+    assert system.protocol.processes[1].initiate()
+    system.sim.run_until_idle()
+    assert record.checkpoint_taken_on_behalf
+    assert system.sim.trace.count("commit") == 1
+    assert system.sim.trace.count("tentative", pid=0) == 1
+
+    # Reconnect at the *other* MSS: support info travels, buffer replays.
+    old_mss = system.processes[0].host.mss or system.mss_list[0]
+    target = next(m for m in system.mss_list if m is not old_mss)
+    reconnect_process(system, 0, target)
+    system.sim.run_until_idle()
+    assert system.metrics.value("net.reconnects") == 1
+    assert system.metrics.value("net.buffered_replayed") >= 2
+    assert system.processes[0].app_state["messages_received"] == 2
+    assert system.processes[0].host.mss is target
+
+    # A second wave involving the reconnected process stays consistent.
+    exchange(system, 0, 4)                       # P4 z-depends on P0
+    assert system.protocol.processes[4].initiate()
+    system.sim.run_until_idle()
+    assert system.sim.trace.count("commit") == 2
+    line = latest_permanent_line(system.all_stable_storages(), system.processes)
+    assert_line_consistent(system.sim.trace, line)
+
+
+def test_buffered_counter_zero_without_traffic():
+    """Reconnecting with an empty buffer must not touch the replay
+    counter (it counts messages, not reconnections)."""
+    system = build()
+    disconnect_process(system, 0)
+    reconnect_process(system, 0, system.mss_list[0])
+    system.sim.run_until_idle()
+    assert system.metrics.value("net.reconnects") == 1
+    assert system.metrics.value("net.buffered_replayed") == 0
+
+
+def test_two_disconnects_counted_independently():
+    system = build()
+    disconnect_process(system, 0)
+    disconnect_process(system, 2)
+    assert system.metrics.value("net.disconnects") == 2
+    system.processes[1].send_computation(0)
+    system.processes[1].send_computation(2)
+    system.sim.run_until_idle()
+    reconnect_process(system, 0, system.mss_list[1])
+    reconnect_process(system, 2, system.mss_list[0])
+    system.sim.run_until_idle()
+    assert system.metrics.value("net.reconnects") == 2
+    assert system.metrics.value("net.buffered_replayed") == 2
+    assert system.processes[0].app_state["messages_received"] == 1
+    assert system.processes[2].app_state["messages_received"] == 1

@@ -79,7 +79,7 @@ def test_ghost_messages_from_old_incarnation_dropped():
     system.sim.run(until=system.sim.now + 60.0)
     workload.stop()
     system.run_until_quiescent()
-    assert system.monitor.counter("stale_incarnation_dropped") >= 1
+    assert system.metrics.value("stale_incarnation_dropped") >= 1
 
 
 def test_ghost_message_arriving_after_resume_is_discarded():
@@ -102,14 +102,14 @@ def test_ghost_message_arriving_after_resume_is_discarded():
     # incarnation (0), still crossing the network when everyone resumed.
     receiver = system.processes[2]
     received_before = receiver.app_state["messages_received"]
-    dropped_before = system.monitor.counter("stale_incarnation_dropped")
+    dropped_before = system.metrics.value("stale_incarnation_dropped")
     ghost = ComputationMessage(src_pid=1, dst_pid=2, payload="late-ghost")
     ghost.piggyback["vc"] = system.processes[1].vc.snapshot()
     ghost.piggyback["inc"] = 0
     system.network.send_from_process(1, ghost)
     system.run_until_quiescent()
 
-    assert system.monitor.counter("stale_incarnation_dropped") == dropped_before + 1
+    assert system.metrics.value("stale_incarnation_dropped") == dropped_before + 1
     assert receiver.app_state["messages_received"] == received_before
     assert not receiver._deferred_receives
 

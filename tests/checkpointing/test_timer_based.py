@@ -32,8 +32,8 @@ def run_with_traffic(system, protocol, rounds=3, mean=5.0):
 def test_no_coordination_messages():
     system, protocol = build()
     run_with_traffic(system, protocol)
-    assert system.monitor.counter("system_messages") == 0
-    assert system.monitor.counter("broadcasts") == 0
+    assert system.metrics.value("system_messages") == 0
+    assert system.metrics.value("broadcasts") == 0
 
 
 def test_all_processes_checkpoint_every_round():

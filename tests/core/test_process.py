@@ -74,7 +74,7 @@ def test_blocking_time_accounted():
     system.sim.schedule(10.0, p0.unblock)
     system.sim.run_until_idle()
     assert p0.total_blocked_time == pytest.approx(10.0)
-    assert system.monitor.tally("blocking_time").count == 1
+    assert system.metrics.histogram("blocking_time").count == 1
 
 
 def test_double_block_unblock_idempotent():

@@ -1,0 +1,90 @@
+"""Paper-proof edge case: handoff during an in-flight checkpoint wave.
+
+Theorem 1's proof (Case 2) requires the mutable-checkpoint coordination
+to terminate correctly even when a participating MH changes cells while
+the wave's request/reply messages are in flight: messages addressed to
+the moving MH are buffered by its old MSS and forwarded after
+reattachment, so the wave neither loses a request nor double-delivers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.consistency import assert_line_consistent, latest_permanent_line
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.core.config import SystemConfig
+from repro.core.system import MobileSystem
+from repro.net.mobility import handoff
+
+
+def build(seed=31, n=5):
+    config = SystemConfig(n_processes=n, seed=seed, n_mss=2)
+    return MobileSystem(config, MutableCheckpointProtocol())
+
+
+def exchange(system, src, dst):
+    system.processes[src].send_computation(dst)
+    system.sim.run_until_idle()
+
+
+def other_mss(system, host):
+    return next(m for m in system.mss_list if m is not host.mss)
+
+
+def test_request_reaches_participant_mid_handoff():
+    """The wave's checkpoint request lands in the handoff gap, is
+    buffered, forwarded, and the wave still commits consistently."""
+    system = build()
+    exchange(system, 0, 1)                       # P1 z-depends on P0
+    host = system.processes[0].host
+    handoff(system.network, host, other_mss(system, host), delay=3.0)
+    # Initiate while the MH is between cells: the request to P0 cannot
+    # be delivered until the handoff completes.
+    assert system.protocol.processes[1].initiate()
+    system.sim.run_until_idle()
+
+    assert system.sim.trace.count("commit") == 1
+    assert system.sim.trace.count("tentative", pid=0) == 1
+    assert system.metrics.value("net.handoffs") == 1
+    assert system.metrics.value("net.handoff_forwarded") >= 1
+    forwarded = system.sim.trace.last("handoff_complete")
+    assert forwarded is not None and forwarded["forwarded"] >= 1
+    line = latest_permanent_line(system.all_stable_storages(), system.processes)
+    assert_line_consistent(system.sim.trace, line)
+
+
+def test_initiator_hands_off_mid_wave():
+    """The initiator itself moving cells mid-wave must not strand the
+    replies: they are buffered at the old MSS and forwarded."""
+    system = build()
+    exchange(system, 0, 1)
+    host = system.processes[1].host
+    handoff(system.network, host, other_mss(system, host), delay=3.0)
+    assert system.protocol.processes[1].initiate()
+    system.sim.run_until_idle()
+
+    assert system.sim.trace.count("commit") == 1
+    assert system.processes[1].host.mss is not None
+    line = latest_permanent_line(system.all_stable_storages(), system.processes)
+    assert_line_consistent(system.sim.trace, line)
+
+
+def test_wave_then_handoff_then_second_wave():
+    """Back-to-back waves bracketing a handoff stay individually and
+    jointly consistent (no stale routing after reattachment)."""
+    system = build()
+    exchange(system, 0, 1)
+    assert system.protocol.processes[1].initiate()
+    system.sim.run_until_idle()
+    assert system.sim.trace.count("commit") == 1
+
+    host = system.processes[0].host
+    handoff(system.network, host, other_mss(system, host))
+    system.sim.run_until_idle()
+
+    exchange(system, 0, 2)                       # new z-dependency P2 -> P0
+    assert system.protocol.processes[2].initiate()
+    system.sim.run_until_idle()
+    assert system.sim.trace.count("commit") == 2
+    assert system.sim.trace.count("tentative", pid=0) == 2
+    line = latest_permanent_line(system.all_stable_storages(), system.processes)
+    assert_line_consistent(system.sim.trace, line)

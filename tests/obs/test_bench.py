@@ -1,0 +1,140 @@
+"""Self-tests for the benchmark harness and its regression detector.
+
+The planted-regression test is the harness's own acceptance check: a
+deliberate per-event slowdown must trip :func:`repro.obs.bench.compare`
+at the CI threshold, while a clean self-comparison must not.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BenchCase,
+    calibrate,
+    compare,
+    default_cases,
+    load_baseline,
+    run_bench_suite,
+)
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.core.config import (
+    PointToPointWorkloadConfig,
+    RunConfig,
+    SystemConfig,
+)
+from repro.core.runner import ExperimentRunner
+from repro.core.system import MobileSystem
+from repro.workload.point_to_point import PointToPointWorkload
+
+
+def tiny_case() -> BenchCase:
+    """A milliseconds-scale case so the harness tests stay fast."""
+
+    def build():
+        config = SystemConfig(n_processes=4, seed=5, trace_messages=False)
+        system = MobileSystem(config, MutableCheckpointProtocol())
+        workload = PointToPointWorkload(
+            system, PointToPointWorkloadConfig(mean_send_interval=2.0)
+        )
+        runner = ExperimentRunner(system, workload, RunConfig(max_initiations=3))
+        return system, runner
+
+    return BenchCase(name="tiny", build=build)
+
+
+def test_case_run_reports_events_and_time():
+    events, seconds = tiny_case().run()
+    assert events > 0
+    assert seconds > 0.0
+
+
+def test_suite_shape_and_normalization():
+    report = run_bench_suite([tiny_case()], repeats=1, calibration_rate=2.0)
+    assert report["schema"] == 1
+    assert report["calibration_rate"] == 2.0
+    (row,) = report["results"]
+    assert row["name"] == "tiny"
+    assert row["normalized_rate"] == pytest.approx(row["rate"] / 2.0)
+    json.dumps(report)  # must be JSON-safe as-is
+
+
+def test_default_cases_include_trace_pair():
+    names = [case.name for case in default_cases()]
+    assert "mutable_16p_trace_off" in names
+    assert "mutable_16p_trace_on" in names
+
+
+def test_self_comparison_is_clean():
+    report = run_bench_suite([tiny_case()], repeats=1, calibration_rate=1.0)
+    assert compare(report, report) == []
+
+
+def test_planted_regression_is_detected():
+    """A deliberate per-event burn must trip the 25% regression gate."""
+    case = tiny_case()
+    baseline = run_bench_suite([case], repeats=2, calibration_rate=1.0)
+
+    def burn():
+        # Roughly an order of magnitude above the per-event dispatch
+        # cost, so the planted slowdown is >2x regardless of machine.
+        acc = 0
+        for i in range(5000):
+            acc += i & 3
+
+    slowed = run_bench_suite(
+        [case], repeats=2, burn=burn, calibration_rate=1.0
+    )
+    failures = compare(baseline, slowed, threshold=0.25)
+    assert len(failures) == 1
+    assert "tiny" in failures[0]
+    # and the other direction (a speedup) is never a regression
+    assert compare(slowed, baseline, threshold=0.25) == []
+
+
+def test_compare_ignores_unknown_cases_and_zero_baselines():
+    baseline = {
+        "results": [
+            {"name": "gone", "normalized_rate": 1.0},
+            {"name": "zero", "normalized_rate": 0.0},
+        ]
+    }
+    current = {
+        "results": [
+            {"name": "new", "normalized_rate": 0.001},
+            {"name": "zero", "normalized_rate": 0.001},
+        ]
+    }
+    assert compare(baseline, current) == []
+
+
+def test_calibrate_is_positive():
+    assert calibrate() > 0.0
+
+
+def test_load_baseline_missing_and_invalid(tmp_path):
+    assert load_baseline(str(tmp_path / "nope.json")) is None
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    assert load_baseline(str(bad)) is None
+    empty = tmp_path / "empty.json"
+    empty.write_text('{"results": []}')
+    assert load_baseline(str(empty)) is None
+    good = tmp_path / "good.json"
+    good.write_text('{"results": [{"name": "x", "normalized_rate": 1.0}]}')
+    assert load_baseline(str(good))["results"][0]["name"] == "x"
+
+
+def test_committed_baseline_parses():
+    """The repo's committed BENCH_kernel.json must stay loadable."""
+    import os
+
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "..", "BENCH_kernel.json"
+    )
+    baseline = load_baseline(path)
+    assert baseline is not None
+    names = {r["name"] for r in baseline["results"]}
+    assert {c.name for c in default_cases()} <= names
