@@ -23,7 +23,25 @@ _GLYPHS = {
     "abort": "A",
     "blocked": "[",
     "unblocked": "]",
+    "handoff_start": "H",
+    "handoff_complete": "h",
+    "disconnect": "D",
+    "reconnect": "R",
 }
+
+
+def _fallback_glyph(kind: str) -> str:
+    """Deterministic single-char glyph for kinds without a dedicated one.
+
+    The first alphanumeric character of the kind name — stable across
+    runs and versions, so timelines of traces containing new record
+    kinds render (marked in the legend as approximate) instead of
+    silently dropping lanes' events.
+    """
+    for char in kind:
+        if char.isalnum():
+            return char
+    return "?"
 
 
 def _pid_of(record: TraceRecord) -> Optional[int]:
@@ -33,6 +51,11 @@ def _pid_of(record: TraceRecord) -> Optional[int]:
         return record.get("src")
     if record.kind == "comp_recv":
         return record.get("dst")
+    # Mobility-layer records identify the process by its mobile host,
+    # named "mh<pid>" by the system builder (one process per MH).
+    mh = record.get("mh")
+    if isinstance(mh, str) and mh.startswith("mh") and mh[2:].isdigit():
+        return int(mh[2:])
     return None
 
 
@@ -66,9 +89,7 @@ def render_timeline(
             subkind = record.get("subkind", "?")
             glyph = subkind[0]
         else:
-            glyph = _GLYPHS.get(record.kind)
-            if glyph is None:
-                continue
+            glyph = _GLYPHS.get(record.kind) or _fallback_glyph(record.kind)
         events.append((pid, glyph))
 
     cell = 3 if label_messages else 2
@@ -86,8 +107,10 @@ def render_timeline(
         lines.append("")
     legend = (
         "I initiate  T tentative  m mutable  P promoted  d discarded  "
-        "# permanent  A abort  >n send to n  <n recv from n  "
-        "r/c/q request/commit/... (system msgs by first letter)"
+        "# permanent  A abort  H/h handoff start/complete  D disconnect  "
+        "R reconnect  >n send to n  <n recv from n  "
+        "r/c/q request/commit/... (system msgs by first letter; "
+        "unlisted kinds by first letter too)"
     )
     lines.append(legend)
     return "\n".join(lines)

@@ -142,7 +142,8 @@ class MutableCheckpointProcess(ProtocolProcess):
         self.sent = False
         self.r = [False] * self.n
         self.env.trace(
-            "tentative", pid=self.pid, trigger=trigger, csn=record.csn, ckpt_id=record.ckpt_id
+            "tentative", pid=self.pid, trigger=trigger, csn=record.csn,
+            ckpt_id=record.ckpt_id, via="initiator",
         )
         self._save_stable_and_then(record, self._on_initiator_save_done)
         return True
@@ -271,7 +272,7 @@ class MutableCheckpointProcess(ProtocolProcess):
             mutable = self.mutables.pop(msg_trigger, None)
             if mutable is not None:
                 remaining = self._prop_cp(mutable.saved_r, mr, msg_trigger, recv_weight)
-                self._promote_mutable(mutable, msg_trigger, remaining)
+                self._promote_mutable(mutable, msg_trigger, remaining, from_pid)
             else:
                 self._send_reply(msg_trigger, recv_weight)
         elif msg_trigger in self.mutables:
@@ -283,7 +284,7 @@ class MutableCheckpointProcess(ProtocolProcess):
             self.csn[self.pid] += 1
             self.own_trigger = msg_trigger
             remaining = self._prop_cp(mutable.saved_r, mr, msg_trigger, recv_weight)
-            self._promote_mutable(mutable, msg_trigger, remaining)
+            self._promote_mutable(mutable, msg_trigger, remaining, from_pid)
         else:
             self.csn[self.pid] += 1
             self.own_trigger = msg_trigger
@@ -307,6 +308,8 @@ class MutableCheckpointProcess(ProtocolProcess):
                 trigger=msg_trigger,
                 csn=record.csn,
                 ckpt_id=record.ckpt_id,
+                via="request",
+                from_pid=from_pid,
             )
             self._save_stable_and_then(
                 record, lambda: self._send_reply(msg_trigger, remaining)
@@ -317,6 +320,7 @@ class MutableCheckpointProcess(ProtocolProcess):
         mutable: MutableCheckpointRecord,
         msg_trigger: Trigger,
         remaining: Fraction,
+        from_pid: int,
     ) -> None:
         """Turn a mutable checkpoint into a tentative one (stable save)."""
         record = mutable.checkpoint
@@ -332,7 +336,8 @@ class MutableCheckpointProcess(ProtocolProcess):
         self._register_tentative(record, context)
         self.old_csn = self.csn[self.pid]
         self.env.trace(
-            "mutable_promoted", pid=self.pid, trigger=msg_trigger, ckpt_id=record.ckpt_id
+            "mutable_promoted", pid=self.pid, trigger=msg_trigger,
+            ckpt_id=record.ckpt_id, from_pid=from_pid,
         )
         self.env.trace(
             "tentative",
@@ -340,6 +345,8 @@ class MutableCheckpointProcess(ProtocolProcess):
             trigger=msg_trigger,
             csn=record.csn,
             ckpt_id=record.ckpt_id,
+            via="promotion",
+            from_pid=from_pid,
         )
         self._save_stable_and_then(
             record, lambda: self._send_reply(msg_trigger, remaining)
@@ -442,6 +449,8 @@ class MutableCheckpointProcess(ProtocolProcess):
                 trigger=msg_trigger,
                 csn=record.csn,
                 ckpt_id=record.ckpt_id,
+                from_pid=j,
+                msg_id=message.msg_id,
             )
             self.sent = False
             self.r = [False] * self.n

@@ -11,6 +11,7 @@ Subcommands::
     repro-sim campaign --preset fig5 ...   parallel sweep with resume
     repro-sim explore --seeds 100 ...      adversarial schedule fuzzing
     repro-sim profile ...                  kernel profile of one run
+    repro-sim inspect trace.jsonl ...      causal wave forensics on a trace
 """
 
 from __future__ import annotations
@@ -64,6 +65,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the run's trace as JSON lines")
     run.add_argument("--verify", action="store_true",
                      help="check the final recovery line for consistency")
+    run.add_argument("--flight-recorder", type=int, metavar="N", default=None,
+                     help="flight-recorder tracing: keep only the most "
+                     "recent N DEBUG records in memory (implies message "
+                     "tracing; --export-trace still archives every record "
+                     "via the streaming sink)")
 
     sub.add_parser("figures", help="reproduce the paper's Figs. 1-4")
     sub.add_parser("table1", help="run the three-way Table 1 comparison")
@@ -154,6 +160,34 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="event kinds to show (by total time)")
     profile.add_argument("--json", metavar="PATH",
                          help="also dump profile + metrics as JSON")
+    profile.add_argument("--flamegraph", metavar="PATH",
+                         help="also write the event timings in collapsed-"
+                         "stack format (flamegraph.pl / speedscope input)")
+
+    inspect = sub.add_parser(
+        "inspect",
+        help="causal wave forensics on an exported trace: per-wave "
+        "reports, causal chains back to the initiator, Mermaid/DOT "
+        "diagrams",
+    )
+    inspect.add_argument("path",
+                         help="trace file (JSON lines, e.g. from "
+                         "run --export-trace)")
+    inspect.add_argument("--wave", type=int, metavar="N", default=None,
+                         help="restrict to one wave (0-based index)")
+    inspect.add_argument("--explain", type=int, metavar="PID", default=None,
+                         help="print the causal chain explaining why PID "
+                         "checkpointed")
+    inspect.add_argument("--processes", type=int, default=None,
+                         help="process count (default: inferred from the "
+                         "trace)")
+    fmt = inspect.add_mutually_exclusive_group()
+    fmt.add_argument("--mermaid", action="store_true",
+                     help="emit a Mermaid sequence diagram (needs --wave)")
+    fmt.add_argument("--dot", action="store_true",
+                     help="emit a Graphviz digraph (needs --wave)")
+    fmt.add_argument("--json", dest="as_json", action="store_true",
+                     help="emit the full report as JSON")
     return parser
 
 
@@ -218,6 +252,12 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                 json.dump(counterexample, fh, indent=2, sort_keys=True)
             replayed = replay_counterexample(counterexample)
             save_trace(replayed.trace, f"{stem}.trace.jsonl")
+            # Forensic narrative: what the waves looked like causally
+            # at the violation, next to the machine-readable artifacts.
+            from repro.obs.forensics import build_forensics
+
+            with open(f"{stem}.narrative.txt", "w", encoding="utf-8") as fh:
+                fh.write(build_forensics(replayed.trace).narrative())
             line += (
                 f"  shrunk {counterexample['original_decisions']}->"
                 f"{counterexample['shrunk_decisions']} perturbations, "
@@ -313,8 +353,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         checkpoint_interval=args.interval,
         trace_messages=bool(args.verify or args.export_trace),
+        trace_debug_capacity=args.flight_recorder,
     )
     system = MobileSystem(config, build_protocol(args.protocol))
+    sink = None
+    if args.export_trace and args.flight_recorder is not None:
+        # A bounded ring would lose early DEBUG records from an offline
+        # dump, so stream every record to disk as it is recorded
+        # (backfilling what system setup already traced).
+        from repro.sim.export import JsonlTraceSink
+
+        sink = JsonlTraceSink(args.export_trace)
+        for record in system.sim.trace:
+            sink(record)
+        sink.attach(system.sim.trace)
     if args.workload == "p2p":
         workload = PointToPointWorkload(
             system, PointToPointWorkloadConfig(1.0 / args.rate)
@@ -338,11 +390,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"checkpointing time      : {result.duration_summary()} s")
     print(f"blocked process-seconds : {result.total_blocked_time:.1f}")
     print(f"system messages         : {result.counters.get('system_messages', 0):.0f}")
+    if args.flight_recorder is not None:
+        trace = system.sim.trace
+        print(
+            f"flight recorder         : {trace.debug_held} DEBUG records "
+            f"held (cap {trace.debug_capacity}), "
+            f"{trace.debug_evicted} evicted"
+        )
     if args.verify:
         line = latest_permanent_line(system.all_stable_storages(), system.processes)
         assert_line_consistent(system.sim.trace, line)
         print("recovery line           : consistent")
-    if args.export_trace:
+    if sink is not None:
+        sink.close()
+        print(
+            f"trace exported          : {sink.records_written} records "
+            f"-> {args.export_trace} (streamed, full fidelity)"
+        )
+    elif args.export_trace:
         from repro.sim.export import save_trace
 
         count = save_trace(system.sim.trace, args.export_trace)
@@ -385,6 +450,43 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 fh, indent=2, sort_keys=True,
             )
         print(f"\nprofile written to {args.json}")
+    if args.flamegraph:
+        with open(args.flamegraph, "w", encoding="utf-8") as fh:
+            fh.write(profiler.collapsed_stacks())
+        print(f"collapsed stacks written to {args.flamegraph}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.obs.forensics import build_forensics
+    from repro.sim.export import read_trace
+
+    try:
+        trace = read_trace(args.path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if (args.mermaid or args.dot) and args.wave is None:
+        print("error: --mermaid/--dot need --wave", file=sys.stderr)
+        return 2
+    report = build_forensics(trace, n_processes=args.processes)
+    try:
+        if args.mermaid:
+            print(report.to_mermaid(args.wave), end="")
+        elif args.dot:
+            print(report.to_dot(args.wave), end="")
+        elif args.as_json:
+            print(report.to_json())
+        elif args.explain is not None:
+            print(report.narrative(wave_index=args.wave, explain=args.explain),
+                  end="")
+        elif args.wave is not None:
+            print(report.wave_narrative(args.wave), end="")
+        else:
+            print(report.narrative(), end="")
+    except IndexError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -435,6 +537,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_explore(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
     if args.command == "report":
         from repro.reporting import ReportScale, write_report
 

@@ -43,6 +43,13 @@ class SystemConfig:
     trace_messages:
         Record every computation send/receive in the trace. Required by
         the consistency checkers; can be disabled for very long runs.
+    trace_debug_capacity:
+        Flight-recorder mode: keep message-level (DEBUG) tracing on but
+        retain only the most recent this-many DEBUG records in a ring
+        buffer (INFO lifecycle records are always kept in full). Bounds
+        trace memory for long runs while the final waves stay fully
+        explainable; implies DEBUG-level tracing regardless of
+        ``trace_messages``.
     track_weight_invariant:
         Attach a weight ledger asserting Lemma 2 continuously (protocols
         that support it).
@@ -58,6 +65,7 @@ class SystemConfig:
     checkpoint_size_bytes: int = 512 * 1024
     network: NetworkParams = field(default_factory=NetworkParams)
     trace_messages: bool = True
+    trace_debug_capacity: Optional[int] = None
     track_weight_invariant: bool = False
 
     def __post_init__(self) -> None:
@@ -73,6 +81,10 @@ class SystemConfig:
             raise ConfigurationError("checkpoint interval must be positive")
         if self.checkpoint_size_bytes <= 0:
             raise ConfigurationError("checkpoint size must be positive")
+        if self.trace_debug_capacity is not None and self.trace_debug_capacity < 1:
+            raise ConfigurationError(
+                "trace_debug_capacity must be >= 1 (or None for unbounded)"
+            )
 
     def with_changes(self, **kwargs) -> "SystemConfig":
         """A copy with the given fields replaced."""

@@ -215,9 +215,12 @@ class RuntimeEnv(ProcessEnv):
         self.system.metrics.counter(f"system_messages_{subkind}").inc()
         trace = self.system.sim.trace
         if trace.debug_on:
+            # The wave tag (a Trigger for request/reply/commit/abort)
+            # lets forensics attribute control messages to their wave.
             trace.debug(
                 self.system.sim.now, "sys_send",
                 src=self.pid, dst=dst_pid, subkind=subkind,
+                trigger=fields.get("trigger"),
             )
         self.system.network.send_from_process(self.pid, message)
 
@@ -226,7 +229,8 @@ class RuntimeEnv(ProcessEnv):
         trace = self.system.sim.trace
         if trace.debug_on:
             trace.debug(
-                self.system.sim.now, "sys_broadcast", src=self.pid, subkind=subkind
+                self.system.sim.now, "sys_broadcast", src=self.pid, subkind=subkind,
+                trigger=fields.get("trigger"),
             )
         return self.system.network.broadcast_system(
             self.pid,

@@ -31,7 +31,7 @@ from repro.net.network import MobileNetwork
 from repro.obs.registry import MetricsRegistry
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
-from repro.sim.trace import TraceLevel
+from repro.sim.trace import TraceLevel, TraceLog
 
 DeliverHook = Callable[[AppProcess, ComputationMessage], None]
 
@@ -57,13 +57,20 @@ class MobileSystem:
         # even inside one interpreter (replay, digests, worker reuse).
         reset_checkpoint_ids()
         reset_message_ids()
-        self.sim = Simulator()
         # Message-level (DEBUG) records are the bulk of trace volume; the
         # level is fixed at build time so hot-path emitters can check one
-        # bool (`trace.debug_on`) instead of re-reading config.
-        self.sim.trace.set_level(
-            TraceLevel.DEBUG if config.trace_messages else TraceLevel.INFO
-        )
+        # bool (`trace.debug_on`) instead of re-reading config. A flight
+        # recorder (bounded DEBUG ring) implies DEBUG-level tracing.
+        if config.trace_debug_capacity is not None:
+            trace = TraceLog(
+                level=TraceLevel.DEBUG,
+                debug_capacity=config.trace_debug_capacity,
+            )
+        else:
+            trace = TraceLog(
+                level=TraceLevel.DEBUG if config.trace_messages else TraceLevel.INFO
+            )
+        self.sim = Simulator(trace=trace)
         self.streams = RandomStreams(config.seed)
         #: the run's metrics registry, shared with the kernel; every
         #: layer (net, protocol, kernel) publishes named instruments here

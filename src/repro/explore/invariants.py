@@ -406,10 +406,23 @@ def build_invariants(names: Optional[Sequence[str]] = None) -> Tuple[Invariant, 
 
 
 def check_invariants(
-    trace: TraceLog, invariants: Optional[Sequence[Invariant]] = None
+    trace: TraceLog,
+    invariants: Optional[Sequence[Invariant]] = None,
+    dump_path: Optional[str] = None,
 ) -> List[Violation]:
-    """Run the suite against ``trace`` and collect every violation."""
+    """Run the suite against ``trace`` and collect every violation.
+
+    ``dump_path`` arms the flight recorder's dump-on-violation: when any
+    invariant fails, the trace (merged INFO + retained-DEBUG view for a
+    ring-buffered log) is written there as JSON lines before returning,
+    so the evidence window survives even if the run continues and the
+    ring rolls past it.
+    """
     violations: List[Violation] = []
     for invariant in invariants if invariants is not None else DEFAULT_INVARIANTS:
         violations.extend(invariant.check(trace))
+    if violations and dump_path is not None:
+        from repro.sim.export import save_trace
+
+        save_trace(trace, dump_path)
     return violations

@@ -14,7 +14,12 @@ first-class infrastructure:
   ``repro-sim profile``;
 * :mod:`repro.obs.bench` — the kernel benchmark behind
   ``benchmarks/bench_kernel.py`` and the committed ``BENCH_kernel.json``
-  baseline (hardware-normalized regression checking).
+  baseline (hardware-normalized regression checking);
+* :mod:`repro.obs.forensics` — causal wave forensics: reconstructs each
+  checkpoint wave from the trace, explains every forced checkpoint as a
+  happened-before chain back to the initiator, and compares the forced
+  set against the minimality checker's justified closure. Exposed via
+  ``repro-sim inspect``.
 
 Instrument naming scheme (see docs/API.md): dotted ``layer.component``
 paths for infrastructure metrics (``net.wireless.bytes``,
@@ -23,14 +28,24 @@ historical flat names (``system_messages``, ``mutable_checkpoints``)
 because they are part of the result wire format.
 """
 
+from repro.obs.forensics import (
+    EventGraph,
+    ForensicReport,
+    WaveReport,
+    build_forensics,
+)
 from repro.obs.profiler import KernelProfiler, SpanStat
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
     "Counter",
+    "EventGraph",
+    "ForensicReport",
     "Gauge",
     "Histogram",
     "KernelProfiler",
     "MetricsRegistry",
     "SpanStat",
+    "WaveReport",
+    "build_forensics",
 ]

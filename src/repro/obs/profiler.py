@@ -159,3 +159,18 @@ class KernelProfiler:
     def rate(self) -> float:
         """Events per in-callback second (0.0 before any dispatch)."""
         return self.dispatched / self.dispatch_s if self.dispatch_s else 0.0
+
+    def collapsed_stacks(self) -> str:
+        """The event timings in collapsed-stack (flamegraph) format.
+
+        One line per event kind: semicolon-joined frames rooted at
+        ``kernel`` (the callback qualname's dotted parts become the
+        stack), then the total in-callback time in integer microseconds —
+        the format ``flamegraph.pl`` and speedscope ingest directly.
+        Lines are sorted by frame path so output is deterministic.
+        """
+        lines = []
+        for label, stat in sorted(self.events.items()):
+            frames = ";".join(["kernel", *label.split(".")])
+            lines.append(f"{frames} {max(1, round(stat.total_s * 1e6))}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -62,7 +62,8 @@ class HarnessEnv(ProcessEnv):
             src_pid=self.pid, dst_pid=dst_pid, subkind=subkind, fields=fields
         )
         self.harness.trace.record(
-            self.now(), "sys_send", src=self.pid, dst=dst_pid, subkind=subkind
+            self.now(), "sys_send", src=self.pid, dst=dst_pid, subkind=subkind,
+            trigger=fields.get("trigger"),
         )
         self.harness.post(InFlight(message, dst_pid, "system"))
 

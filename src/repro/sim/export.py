@@ -6,13 +6,22 @@ consistency and minimality checkers run on imported traces unchanged).
 
 Triggers and checkpoint kinds are encoded as tagged objects so a round
 trip preserves the types the checkers rely on.
+
+Two export paths exist:
+
+* :func:`dump_trace` / :func:`save_trace` — offline, after the run; in
+  flight-recorder mode this dumps the merged INFO + retained-DEBUG view.
+* :class:`JsonlTraceSink` — online: subscribed to a live
+  :class:`~repro.sim.trace.TraceLog`, it streams every record to a file
+  as it is recorded, so a bounded flight-recorder log can still leave a
+  full-fidelity archive on disk.
 """
 
 from __future__ import annotations
 
 import io
 import json
-from typing import IO, Any, Iterable, Union
+from typing import IO, Any, Iterable, Optional, Union
 
 from repro.checkpointing.types import Trigger
 from repro.sim.trace import TraceLog, TraceRecord
@@ -51,12 +60,7 @@ def dump_trace(trace: Iterable[TraceRecord], stream: IO[str]) -> int:
     """Write the trace as JSON lines; returns the record count."""
     count = 0
     for record in trace:
-        line = {
-            "t": record.time,
-            "k": record.kind,
-            "f": {key: _encode_value(val) for key, val in record.fields.items()},
-        }
-        stream.write(json.dumps(line, separators=(",", ":")) + "\n")
+        stream.write(_record_line(record) + "\n")
         count += 1
     return count
 
@@ -81,6 +85,58 @@ def load_trace(stream: Union[IO[str], str]) -> TraceLog:
         fields = {key: _decode_value(val) for key, val in data["f"].items()}
         log.record(data["t"], data["k"], **fields)
     return log
+
+
+def _record_line(record: TraceRecord) -> str:
+    line = {
+        "t": record.time,
+        "k": record.kind,
+        "f": {key: _encode_value(val) for key, val in record.fields.items()},
+    }
+    return json.dumps(line, separators=(",", ":"))
+
+
+class JsonlTraceSink:
+    """A streaming JSONL sink for a live :class:`TraceLog`.
+
+    Subscribe it (``sink.attach(trace)``) and every subsequently recorded
+    record — including DEBUG records a flight-recorder ring later evicts
+    — is written to the file immediately, in the same tagged encoding
+    :func:`dump_trace` uses, so :func:`read_trace` reads it back
+    unchanged. Use as a context manager::
+
+        with JsonlTraceSink("run.trace.jsonl") as sink:
+            sink.attach(system.sim.trace)
+            runner.run()
+        print(sink.records_written)
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.records_written = 0
+        self._handle: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+
+    def __call__(self, record: TraceRecord) -> None:
+        if self._handle is None:
+            raise ValueError(f"sink {self.path} is closed")
+        self._handle.write(_record_line(record) + "\n")
+        self.records_written += 1
+
+    def attach(self, trace: TraceLog) -> "JsonlTraceSink":
+        """Subscribe this sink to ``trace`` and return self."""
+        trace.subscribe(self)
+        return self
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 def save_trace(trace: Iterable[TraceRecord], path: str) -> int:

@@ -15,13 +15,37 @@ they dominate trace volume, so hot-path emitters check the
 :attr:`TraceLog.debug_on` flag *before* building the record and skip all
 work when message tracing is off. ``explore`` and message-level analyses
 run at DEBUG for full fidelity; throughput runs stay at INFO.
+
+Flight recorder
+---------------
+Long runs that still need message fidelity *around interesting moments*
+can bound DEBUG memory with ``debug_capacity``: INFO records are kept in
+full (analysis depends on them) while DEBUG records go into a ring
+buffer holding only the most recent ``debug_capacity`` entries — O(1)
+memory however long the run. Iteration, queries, and
+:meth:`content_hash` transparently present the merged (INFO + retained
+DEBUG) view in recording order. Dump-on-demand is just
+:func:`repro.sim.export.save_trace` on the log; subscribers (e.g. the
+streaming :class:`~repro.sim.export.JsonlTraceSink`) still see *every*
+record before eviction, so full fidelity can stream to disk while the
+in-memory window stays bounded.
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 
 class TraceLevel:
@@ -84,6 +108,10 @@ class TraceLog:
     sample_every:
         Keep only every N-th DEBUG record (deterministic counter-based
         sampling; INFO records are never sampled out). ``1`` keeps all.
+    debug_capacity:
+        Flight-recorder mode: retain at most this many DEBUG records (a
+        ring buffer of the most recent ones). INFO records are always
+        kept in full. ``None`` (the default) retains everything.
     """
 
     def __init__(
@@ -91,13 +119,31 @@ class TraceLog:
         enabled: bool = True,
         level: int = TraceLevel.DEBUG,
         sample_every: int = 1,
+        debug_capacity: Optional[int] = None,
     ) -> None:
         if sample_every < 1:
             raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        if debug_capacity is not None and debug_capacity < 1:
+            raise ValueError(
+                f"debug_capacity must be >= 1 (or None), got {debug_capacity}"
+            )
         self._records: List[TraceRecord] = []
         self._subscribers: List[Callable[[TraceRecord], None]] = []
         self.sample_every = sample_every
         self._debug_seen = 0
+        # Flight-recorder state. In normal mode (_debug_ring is None)
+        # everything lives in _records and the sequence bookkeeping is
+        # dormant; in flight mode _records holds INFO only, the ring
+        # holds (seq, record) for the newest DEBUG entries, and _info_seq
+        # parallels _records so iteration can merge the two by seq.
+        self._seq = 0
+        self._info_seq: List[int] = []
+        self._debug_ring: Optional[Deque[Tuple[int, TraceRecord]]] = (
+            deque(maxlen=debug_capacity) if debug_capacity is not None else None
+        )
+        self.debug_capacity = debug_capacity
+        #: DEBUG records dropped from the ring so far (0 in normal mode)
+        self.debug_evicted = 0
         self._level = TraceLevel.OFF  # set_level below fixes the flags
         self.set_level(level if enabled else TraceLevel.OFF)
 
@@ -124,12 +170,33 @@ class TraceLog:
     def enabled(self, value: bool) -> None:
         self.set_level(TraceLevel.DEBUG if value else TraceLevel.OFF)
 
+    @property
+    def debug_held(self) -> int:
+        """DEBUG records currently retained in the flight-recorder ring.
+
+        In normal (unbounded) mode this is 0 — DEBUG records live in the
+        main list and are not tracked separately.
+        """
+        return len(self._debug_ring) if self._debug_ring is not None else 0
+
     # -- recording ---------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._records)
+        if self._debug_ring is None:
+            return len(self._records)
+        return len(self._records) + len(self._debug_ring)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        if self._debug_ring is None:
+            return iter(self._records)
+        return iter(self._merged())
+
+    def _merged(self) -> List[TraceRecord]:
+        """INFO + retained DEBUG records, in recording order (flight mode)."""
+        assert self._debug_ring is not None
+        merged: List[Tuple[int, TraceRecord]] = list(self._debug_ring)
+        merged.extend(zip(self._info_seq, self._records))
+        merged.sort(key=lambda pair: pair[0])
+        return [record for _, record in merged]
 
     def record(self, time: float, kind: str, **fields: Any) -> None:
         """Append an INFO-level record (no-op when the log is off)."""
@@ -137,6 +204,9 @@ class TraceLog:
             return
         rec = TraceRecord(time, kind, fields)
         self._records.append(rec)
+        if self._debug_ring is not None:
+            self._info_seq.append(self._seq)
+            self._seq += 1
         for subscriber in self._subscribers:
             subscriber(rec)
 
@@ -154,24 +224,36 @@ class TraceLog:
         if self.sample_every > 1 and self._debug_seen % self.sample_every:
             return
         rec = TraceRecord(time, kind, fields)
-        self._records.append(rec)
+        ring = self._debug_ring
+        if ring is None:
+            self._records.append(rec)
+        else:
+            if len(ring) == ring.maxlen:
+                self.debug_evicted += 1
+            ring.append((self._seq, rec))
+            self._seq += 1
         for subscriber in self._subscribers:
             subscriber(rec)
 
     def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
-        """Invoke ``callback`` for every subsequently recorded entry."""
+        """Invoke ``callback`` for every subsequently recorded entry.
+
+        Subscribers see every record at recording time — in flight-
+        recorder mode that includes DEBUG records later evicted from the
+        ring, which is how a streaming sink preserves full fidelity.
+        """
         self._subscribers.append(callback)
 
     # -- queries -----------------------------------------------------------
     def of_kind(self, *kinds: str) -> List[TraceRecord]:
         """All records whose kind is one of ``kinds``, in time order."""
         wanted = set(kinds)
-        return [r for r in self._records if r.kind in wanted]
+        return [r for r in self if r.kind in wanted]
 
     def where(self, kind: Optional[str] = None, **conditions: Any) -> List[TraceRecord]:
         """Records matching a kind and exact field values."""
         out = []
-        for r in self._records:
+        for r in self:
             if kind is not None and r.kind != kind:
                 continue
             if all(r.fields.get(k) == v for k, v in conditions.items()):
@@ -184,24 +266,30 @@ class TraceLog:
 
     def last(self, kind: str) -> Optional[TraceRecord]:
         """The most recent record of ``kind``, or None."""
-        for r in reversed(self._records):
+        view = self._records if self._debug_ring is None else self._merged()
+        for r in reversed(view):
             if r.kind == kind:
                 return r
         return None
 
     def between(self, start: float, end: float) -> List[TraceRecord]:
         """Records with ``start <= time <= end``."""
-        return [r for r in self._records if start <= r.time <= end]
+        return [r for r in self if start <= r.time <= end]
 
     def clear(self) -> None:
         """Drop all records (subscribers are retained)."""
         self._records.clear()
         self._debug_seen = 0
+        self._seq = 0
+        self._info_seq.clear()
+        if self._debug_ring is not None:
+            self._debug_ring.clear()
+        self.debug_evicted = 0
 
     def kinds(self) -> Tuple[str, ...]:
         """The distinct record kinds present, in first-seen order."""
         seen: Dict[str, None] = {}
-        for r in self._records:
+        for r in self:
             seen.setdefault(r.kind, None)
         return tuple(seen)
 
@@ -213,7 +301,7 @@ class TraceLog:
         byte-level witness that two runs traced identically.
         """
         digest = hashlib.sha256()
-        for r in self._records:
+        for r in self:
             fields = ",".join(
                 f"{k}={r.fields[k]!r}" for k in sorted(r.fields)
             )

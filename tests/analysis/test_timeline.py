@@ -64,3 +64,44 @@ def test_mutable_lifecycle_glyphs():
     out = render_timeline(h.trace, 3)
     assert "m" in out
     assert "P " in out or "P." in out  # promoted glyph in a lane
+
+
+def test_mobility_glyphs_and_mh_lane_attribution():
+    from repro.sim.trace import TraceLog
+
+    trace = TraceLog()
+    trace.record(1.0, "handoff_start", mh="mh1", src="mss0", dst="mss1")
+    trace.record(2.0, "handoff_complete", mh="mh1", src="mss0", dst="mss1",
+                 forwarded=0)
+    trace.record(3.0, "disconnect", mh="mh0", mss="mss0", sn=4)
+    trace.record(4.0, "reconnect", mh="mh0", old_mss="mss0", new_mss="mss1",
+                 replayed=2, checkpoint_taken_on_behalf=False)
+    out = render_timeline(trace, 2)
+    lanes = {line[:2]: line for line in out.splitlines() if line.startswith("P")}
+    assert "H" in lanes["P1"] and "h" in lanes["P1"]
+    assert "D" in lanes["P0"] and "R" in lanes["P0"]
+    assert "handoff" in out  # legend
+    assert "disconnect" in out
+
+
+def test_unknown_kind_fallback_glyph_is_deterministic():
+    from repro.sim.trace import TraceLog
+
+    trace = TraceLog()
+    trace.record(1.0, "zz_new_kind", pid=0)
+    trace.record(2.0, "zz_new_kind", pid=0)
+    a = render_timeline(trace, 1)
+    b = render_timeline(trace, 1)
+    assert a == b
+    lane = next(line for line in a.splitlines() if line.startswith("P0"))
+    assert lane.count("z") == 2  # first letter of the kind, not dropped
+
+
+def test_non_mh_named_records_stay_unattributed():
+    from repro.sim.trace import TraceLog
+
+    trace = TraceLog()
+    trace.record(1.0, "handoff_start", mh="host-a", src="mss0", dst="mss1")
+    out = render_timeline(trace, 2)
+    lanes = [line for line in out.splitlines() if line.startswith("P")]
+    assert not any("H" in lane for lane in lanes)

@@ -111,3 +111,89 @@ def test_unknown_protocol_rejected():
 def test_no_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def _exported_trace(tmp_path, extra=()):
+    path = str(tmp_path / "trace.jsonl")
+    code = main(
+        ["run", "--processes", "6", "--rate", "0.05", "--initiations", "2",
+         "--seed", "9", "--export-trace", path, *extra]
+    )
+    assert code == 0
+    return path
+
+
+def test_inspect_narrative(tmp_path, capsys):
+    path = _exported_trace(tmp_path)
+    capsys.readouterr()
+    assert main(["inspect", path]) == 0
+    out = capsys.readouterr().out
+    assert "wave 0" in out
+    assert "forced (stable writes)" in out
+    assert "justified closure" in out
+
+
+def test_inspect_explain_and_wave(tmp_path, capsys):
+    path = _exported_trace(tmp_path)
+    capsys.readouterr()
+    assert main(["inspect", path, "--wave", "0", "--explain", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "initiated wave" in out or "no checkpoint" in out
+
+
+def test_inspect_mermaid_and_dot(tmp_path, capsys):
+    path = _exported_trace(tmp_path)
+    capsys.readouterr()
+    assert main(["inspect", path, "--wave", "0", "--mermaid"]) == 0
+    assert capsys.readouterr().out.startswith("sequenceDiagram")
+    assert main(["inspect", path, "--wave", "0", "--dot"]) == 0
+    assert capsys.readouterr().out.startswith("digraph")
+
+
+def test_inspect_json(tmp_path, capsys):
+    import json
+
+    path = _exported_trace(tmp_path)
+    capsys.readouterr()
+    assert main(["inspect", path, "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["waves"]
+    assert data["has_debug"] is True
+
+
+def test_inspect_diagram_without_wave_rejected(tmp_path, capsys):
+    path = _exported_trace(tmp_path)
+    assert main(["inspect", path, "--mermaid"]) == 2
+
+
+def test_inspect_missing_file_rejected(capsys):
+    assert main(["inspect", "/nonexistent/trace.jsonl"]) == 2
+
+
+def test_run_flight_recorder_streams_full_trace(tmp_path, capsys):
+    full = _exported_trace(tmp_path)
+    bounded = str(tmp_path / "flight.jsonl")
+    code = main(
+        ["run", "--processes", "6", "--rate", "0.05", "--initiations", "2",
+         "--seed", "9", "--flight-recorder", "32", "--export-trace", bounded]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "flight recorder" in out
+    with open(full) as a, open(bounded) as b:
+        assert a.read() == b.read()  # streamed archive is full fidelity
+
+
+def test_profile_flamegraph(tmp_path, capsys):
+    path = str(tmp_path / "flame.txt")
+    code = main(
+        ["profile", "--processes", "4", "--initiations", "2",
+         "--flamegraph", path]
+    )
+    assert code == 0
+    lines = open(path).read().splitlines()
+    assert lines
+    for line in lines:
+        frames, value = line.rsplit(" ", 1)
+        assert frames.startswith("kernel;")
+        assert int(value) >= 1

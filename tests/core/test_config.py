@@ -51,6 +51,7 @@ class TestSystemConfig:
             {"n_mss": 0},
             {"checkpoint_interval": 0.0},
             {"checkpoint_size_bytes": 0},
+            {"trace_debug_capacity": 0},
         ],
     )
     def test_invalid_rejected(self, kwargs):

@@ -66,3 +66,19 @@ def test_run_until_quiescent():
     system.processes[0].send_computation(1)
     system.run_until_quiescent(extra_time=1.0)
     assert system.processes[1].app_state["messages_received"] == 1
+
+
+def test_trace_debug_capacity_builds_flight_recorder():
+    from repro.checkpointing.mutable import MutableCheckpointProtocol
+    from repro.core.config import SystemConfig
+    from repro.core.system import MobileSystem
+    from repro.sim.trace import TraceLevel
+
+    config = SystemConfig(n_processes=4, trace_messages=False,
+                          trace_debug_capacity=16)
+    system = MobileSystem(config, MutableCheckpointProtocol())
+    trace = system.sim.trace
+    # Bounded DEBUG implies DEBUG-level tracing even without
+    # trace_messages: the ring is the memory bound, not the level.
+    assert trace.level == TraceLevel.DEBUG
+    assert trace.debug_capacity == 16

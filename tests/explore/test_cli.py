@@ -31,6 +31,11 @@ def test_explore_mutation_exits_one_and_dumps_counterexample(tmp_path, capsys):
     dumps = sorted(os.listdir(out_dir))
     assert any(name.endswith(".json") for name in dumps)
     assert any(name.endswith(".trace.jsonl") for name in dumps)
+    # a forensic narrative rides along with every counterexample
+    narratives = [name for name in dumps if name.endswith(".narrative.txt")]
+    assert narratives
+    text = (out_dir / narratives[0]).read_text()
+    assert "wave 0" in text and "initiated by" in text
     # the dumped counterexample replays to a violation
     ce_path = next(
         out_dir / name for name in dumps if name.endswith(".json")

@@ -213,3 +213,34 @@ def test_clean_run_passes_full_suite():
     workload.stop()
     system.run_until_quiescent()
     assert check_invariants(system.sim.trace) == []
+
+
+def test_dump_on_violation_writes_trace(tmp_path):
+    """A failing suite with dump_path arms the flight-recorder dump."""
+    from repro.sim.export import read_trace
+
+    trace = make_trace([(1.0, "initiation", {"pid": 0, "trigger": (0, 1)})])
+    dump = str(tmp_path / "violation.trace.jsonl")
+    violations = check_invariants(trace, dump_path=dump)
+    assert violations
+    restored = read_trace(dump)
+    assert restored.content_hash() == trace.content_hash()
+
+
+def test_no_dump_when_clean(tmp_path):
+    import os
+
+    from repro.checkpointing.types import Trigger
+
+    trigger = Trigger(0, 1)
+    trace = make_trace(
+        [
+            (1.0, "initiation", {"pid": 0, "trigger": trigger}),
+            (1.0, "tentative",
+             {"pid": 0, "trigger": trigger, "csn": 1, "ckpt_id": 1}),
+            (2.0, "commit", {"trigger": trigger}),
+        ]
+    )
+    dump = str(tmp_path / "clean.trace.jsonl")
+    assert check_invariants(trace, dump_path=dump) == []
+    assert not os.path.exists(dump)

@@ -1,0 +1,260 @@
+"""Causal wave forensics: chains, wave reports, renderers, event graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.checkpointing.types import Trigger
+from repro.obs.forensics import EventGraph, build_forensics
+from repro.scenarios.harness import ScenarioHarness
+from repro.sim.trace import TraceLog
+
+
+def harness(n=3):
+    return ScenarioHarness(n, MutableCheckpointProtocol(track_weights=True))
+
+
+def promotion_harness():
+    """Figure-3 shape: tagged message overtakes the checkpoint request."""
+    h = harness()
+    h.deliver(h.send(2, 1))   # P1 depends on P2
+    h.send(2, 0)              # P2 sent this interval
+    h.initiate(1)             # request to P2 pending
+    h.deliver(h.send(1, 2))   # tagged message first -> mutable at P2
+    h.deliver(h.pending_system("request")[0])  # promotes
+    h.deliver_all_system()
+    return h
+
+
+def discard_harness():
+    """Mutable taken but never promoted: discarded at commit."""
+    h = harness()
+    h.deliver(h.send(0, 2))
+    h.deliver(h.send(0, 1))   # keep P1's initiation open
+    h.send(2, 0)
+    h.initiate(1)
+    h.deliver(h.send(1, 2))   # mutable at P2
+    h.deliver_all_system()
+    return h
+
+
+class TestWaveReconstruction:
+    def test_single_wave_with_promotion(self):
+        report = build_forensics(promotion_harness().trace, n_processes=3)
+        assert len(report.waves) == 1
+        wave = report.waves[0]
+        assert wave.trigger == Trigger(1, 1)
+        assert wave.initiator == 1
+        assert wave.outcome == "commit"
+        assert wave.forced == {1, 2}
+        assert wave.promoted == {2}
+        assert 2 in wave.mutables
+
+    def test_discarded_mutable_not_in_forced_set(self):
+        report = build_forensics(discard_harness().trace, n_processes=3)
+        wave = report.waves[0]
+        assert wave.forced == {0, 1}
+        assert wave.discarded_mutables == {2}
+        assert set(wave.mutables) == {2}
+        assert wave.promoted == set()
+
+    def test_forced_matches_justified_closure(self):
+        for h in (promotion_harness(), discard_harness()):
+            wave = build_forensics(h.trace, n_processes=3).waves[0]
+            assert wave.justified is not None
+            assert wave.forced == wave.justified
+
+    def test_control_message_accounting(self):
+        report = build_forensics(promotion_harness().trace, n_processes=3)
+        wave = report.waves[0]
+        assert wave.control_messages["request"] == 1
+        assert wave.control_messages["reply"] == 1
+        # Harness commit goes point-to-point, not broadcast.
+        assert wave.control_messages["commit"] == 2
+
+    def test_n_processes_inferred(self):
+        h = promotion_harness()
+        report = build_forensics(h.trace)
+        assert report.n_processes == 3
+
+    def test_info_only_trace_degrades_gracefully(self):
+        trace = TraceLog()
+        trace.record(1.0, "initiation", pid=0, trigger=Trigger(0, 1))
+        trace.record(1.0, "tentative", pid=0, trigger=Trigger(0, 1),
+                     ckpt_id=1, via="initiator")
+        trace.record(2.0, "commit", trigger=Trigger(0, 1))
+        report = build_forensics(trace, n_processes=2)
+        assert not report.has_debug
+        wave = report.waves[0]
+        assert wave.forced == {0}
+        assert wave.minimality is None  # needs DEBUG comp records
+        assert "INFO-only" in report.narrative()
+
+    def test_aborted_wave_outcome(self):
+        trace = TraceLog()
+        trace.record(1.0, "initiation", pid=0, trigger=Trigger(0, 1))
+        trace.record(1.0, "tentative", pid=0, trigger=Trigger(0, 1),
+                     ckpt_id=1, via="initiator")
+        trace.record(3.0, "abort", trigger=Trigger(0, 1))
+        wave = build_forensics(trace, n_processes=1).waves[0]
+        assert wave.outcome == "abort"
+        assert wave.minimality is None  # only committed waves get closures
+
+
+class TestCausalChains:
+    def test_initiator_chain_is_single_step(self):
+        report = build_forensics(promotion_harness().trace, n_processes=3)
+        steps = report.waves[0].chain_steps(1, report.graph)
+        assert len(steps) == 1
+        assert "initiated" in steps[0].text
+
+    def test_promotion_chain_has_mutable_and_promotion_steps(self):
+        report = build_forensics(promotion_harness().trace, n_processes=3)
+        text = report.explain(2, 0)
+        assert "tagged message" in text
+        assert "mutable checkpoint" in text
+        assert "promoted" in text
+        assert "UNVERIFIED" not in text
+
+    def test_discard_chain_ends_with_avoided_checkpoint(self):
+        report = build_forensics(discard_harness().trace, n_processes=3)
+        text = report.explain(2, 0)
+        assert "discarded" in text
+        assert "never written to stable storage" in text
+        assert "UNVERIFIED" not in text
+
+    def test_request_chain_names_requester(self):
+        report = build_forensics(discard_harness().trace, n_processes=3)
+        text = report.explain(0, 0)
+        assert "request" in text
+        assert "P1" in text
+
+    def test_explain_nonparticipant(self):
+        h = harness(4)
+        h.deliver(h.send(1, 0))
+        h.initiate(0)
+        h.deliver_all_system()
+        report = build_forensics(h.trace, n_processes=4)
+        assert "no checkpoint" in report.explain(3)
+
+    def test_every_participant_chain_reaches_initiator(self):
+        for h in (promotion_harness(), discard_harness()):
+            report = build_forensics(h.trace, n_processes=3)
+            wave = report.waves[0]
+            for pid in set(wave.tentatives) | set(wave.mutables):
+                steps = wave.chain_steps(pid, report.graph)
+                assert steps
+                assert f"P{wave.initiator} initiated" in steps[0].text
+                assert all(s.verified is not False for s in steps)
+
+
+class TestCascadeDepth:
+    def test_direct_requests_are_depth_one(self):
+        report = build_forensics(discard_harness().trace, n_processes=3)
+        assert report.waves[0].cascade_depth() == 1
+
+    def test_propagated_request_deepens_cascade(self):
+        # P0 <- P1 <- P2, initiate at P0: the request propagates P0 ->
+        # P1 -> P2, so P2's chain has two hops.
+        h = harness()
+        h.deliver(h.send(1, 0))
+        h.deliver(h.send(2, 1))
+        h.initiate(0)
+        h.deliver_everything()
+        report = build_forensics(h.trace, n_processes=3)
+        wave = report.waves[0]
+        assert wave.forced == {0, 1, 2}
+        assert wave.cascade_depth() == 2
+        assert wave.deepest_chain() == [0, 1, 2]
+        text = report.explain(2, 0)
+        assert "UNVERIFIED" not in text
+
+
+class TestEventGraph:
+    def test_send_happens_before_receive(self):
+        trace = TraceLog()
+        trace.debug(1.0, "comp_send", src=0, dst=1, msg_id=7)
+        trace.debug(2.0, "comp_recv", src=0, dst=1, msg_id=7)
+        trace.debug(3.0, "comp_send", src=2, dst=0, msg_id=8)
+        graph = EventGraph(trace, 3)
+        assert graph.happened_before(0, 1) is True
+        assert graph.happened_before(1, 0) is False
+        # concurrent with both
+        assert graph.happened_before(0, 2) is False
+        assert graph.happened_before(2, 1) is False
+
+    def test_unowned_positions_return_none(self):
+        trace = TraceLog()
+        trace.record(1.0, "handoff_start", mh="mh3", src="mss0", dst="mss1")
+        trace.debug(2.0, "comp_send", src=0, dst=1, msg_id=1)
+        graph = EventGraph(trace, 2)
+        assert graph.happened_before(0, 1) is None
+
+    def test_transitivity_through_chain(self):
+        trace = TraceLog()
+        trace.debug(1.0, "comp_send", src=0, dst=1, msg_id=1)
+        trace.debug(2.0, "comp_recv", src=0, dst=1, msg_id=1)
+        trace.debug(3.0, "comp_send", src=1, dst=2, msg_id=2)
+        trace.debug(4.0, "comp_recv", src=1, dst=2, msg_id=2)
+        graph = EventGraph(trace, 3)
+        assert graph.happened_before(0, 3) is True
+
+
+class TestRenderers:
+    def test_mermaid_sequence_diagram(self):
+        report = build_forensics(promotion_harness().trace, n_processes=3)
+        diagram = report.to_mermaid(0)
+        assert diagram.startswith("sequenceDiagram")
+        assert "participant P1" in diagram
+        assert "P1->>P2: request" in diagram
+        assert "mutable c" in diagram
+        assert "(tagged)" in diagram
+
+    def test_dot_digraph(self):
+        report = build_forensics(promotion_harness().trace, n_processes=3)
+        dot = report.to_dot(0)
+        assert dot.startswith("digraph wave0")
+        assert "initiator" in dot
+        assert "p1 -> p2" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_marks_discarded_mutable_dashed(self):
+        report = build_forensics(discard_harness().trace, n_processes=3)
+        dot = report.to_dot(0)
+        assert "mutable (discarded)" in dot
+        assert "style=dashed" in dot
+
+    def test_json_round_trips(self):
+        import json
+
+        report = build_forensics(promotion_harness().trace, n_processes=3)
+        data = json.loads(report.to_json())
+        assert data["n_processes"] == 3
+        wave = data["waves"][0]
+        assert wave["forced"] == [1, 2]
+        assert wave["trigger"] == [1, 1]
+        assert wave["outcome"] == "commit"
+
+    def test_wave_narrative_covers_all_participants(self):
+        report = build_forensics(discard_harness().trace, n_processes=3)
+        text = report.wave_narrative(0)
+        for pid in (0, 1, 2):
+            assert f"P{pid} in wave 0" in text
+
+    def test_narrative_deterministic(self):
+        trace = promotion_harness().trace
+        a = build_forensics(trace, n_processes=3)
+        b = build_forensics(trace, n_processes=3)
+        assert a.narrative() == b.narrative()
+        assert a.to_json() == b.to_json()
+
+    def test_unknown_wave_index_raises(self):
+        report = build_forensics(promotion_harness().trace, n_processes=3)
+        with pytest.raises(IndexError):
+            report.wave(5)
+
+    def test_empty_trace(self):
+        report = build_forensics(TraceLog(), n_processes=2)
+        assert report.waves == []
+        assert "no checkpoint waves" in report.narrative()

@@ -69,3 +69,80 @@ def test_checkers_work_on_imported_trace():
 def test_empty_lines_ignored():
     restored = load_trace("\n\n")
     assert len(restored) == 0
+
+
+def debug_trace() -> TraceLog:
+    """DEBUG-level records carrying every tagged value type."""
+    log = TraceLog()
+    log.record(0.0, "initiation", pid=0, trigger=Trigger(0, 1))
+    log.debug(0.5, "sys_send", src=0, dst=1, subkind="request",
+              trigger=Trigger(0, 1))
+    log.debug(1.0, "comp_send", src=0, dst=1, msg_id=7)
+    log.debug(1.5, "sys_broadcast", src=0, subkind="commit",
+              trigger=Trigger(0, 1))
+    log.record(2.0, "weights", pid=0, outstanding=(0.5, 0.25),
+               holders={1, 2}, trigger=Trigger(0, 1))
+    return log
+
+
+def test_debug_records_round_trip_tagged_values():
+    restored = load_trace(dumps_trace(debug_trace()))
+    sys_send = restored.last("sys_send")
+    assert isinstance(sys_send["trigger"], Trigger)
+    weights = restored.last("weights")
+    assert weights["outstanding"] == (0.5, 0.25)
+    assert isinstance(weights["outstanding"], tuple)
+    assert weights["holders"] == {1, 2}
+    assert isinstance(weights["holders"], set)
+
+
+def test_round_trip_content_hash_stable():
+    original = debug_trace()
+    restored = load_trace(dumps_trace(original))
+    assert restored.content_hash() == original.content_hash()
+    # And a second hop stays fixed: the encoding is canonical.
+    again = load_trace(dumps_trace(restored))
+    assert again.content_hash() == original.content_hash()
+
+
+def flight_trace(capacity: int) -> TraceLog:
+    log = TraceLog(debug_capacity=capacity)
+    log.record(0.0, "initiation", pid=0, trigger=Trigger(0, 1))
+    for i in range(10):
+        log.debug(float(i), "comp_send", src=0, dst=1, msg_id=i)
+    log.record(11.0, "commit", trigger=Trigger(0, 1))
+    return log
+
+
+def test_flight_recorder_dump_round_trips(tmp_path):
+    log = flight_trace(capacity=3)
+    assert log.debug_held == 3
+    assert log.debug_evicted == 7
+    path = str(tmp_path / "flight.jsonl")
+    count = save_trace(log, path)
+    assert count == 5  # 2 INFO + 3 retained DEBUG
+    restored = read_trace(path)
+    assert restored.content_hash() == log.content_hash()
+    # Merged recording order survives: initiation, newest sends, commit.
+    assert [r.kind for r in restored] == [
+        "initiation", "comp_send", "comp_send", "comp_send", "commit"
+    ]
+    assert [r["msg_id"] for r in restored.of_kind("comp_send")] == [7, 8, 9]
+
+
+def test_streaming_sink_keeps_full_fidelity_under_flight_recorder(tmp_path):
+    from repro.sim.export import JsonlTraceSink
+
+    path = str(tmp_path / "stream.jsonl")
+    log = TraceLog(debug_capacity=2)
+    with JsonlTraceSink(path) as sink:
+        sink.attach(log)
+        log.record(0.0, "initiation", pid=0, trigger=Trigger(0, 1))
+        for i in range(8):
+            log.debug(float(i), "comp_send", src=0, dst=1, msg_id=i)
+        log.record(9.0, "commit", trigger=Trigger(0, 1))
+    assert log.debug_evicted == 6
+    restored = read_trace(path)
+    assert len(restored) == 10  # every record, despite the tiny ring
+    assert sink.records_written == 10
+    assert [r["msg_id"] for r in restored.of_kind("comp_send")] == list(range(8))

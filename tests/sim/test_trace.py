@@ -90,3 +90,75 @@ def test_clear_keeps_subscribers():
     assert len(log) == 0
     log.record(1.0, "b")
     assert seen == ["a", "b"]
+
+
+class TestFlightRecorder:
+    def test_ring_bounds_debug_records(self):
+        log = TraceLog(debug_capacity=3)
+        log.record(0.0, "initiation", pid=0)
+        for i in range(10):
+            log.debug(float(i), "comp_send", src=0, dst=1, msg_id=i)
+        assert log.debug_held == 3
+        assert log.debug_evicted == 7
+        assert len(log) == 4  # 1 INFO + 3 retained DEBUG
+
+    def test_info_records_never_evicted(self):
+        log = TraceLog(debug_capacity=2)
+        for i in range(6):
+            log.record(float(i), "tentative", pid=i)
+            log.debug(float(i), "comp_send", src=i, dst=0, msg_id=i)
+        assert len(log.of_kind("tentative")) == 6
+        assert log.debug_held == 2
+
+    def test_merged_iteration_preserves_recording_order(self):
+        log = TraceLog(debug_capacity=2)
+        log.record(0.0, "a")
+        log.debug(1.0, "b")
+        log.debug(2.0, "c")
+        log.record(3.0, "d")
+        log.debug(4.0, "e")  # evicts b
+        assert [r.kind for r in log] == ["a", "c", "d", "e"]
+        assert log.last("a").kind == "a"
+
+    def test_queries_see_merged_view(self):
+        log = TraceLog(debug_capacity=2)
+        log.debug(1.0, "comp_send", msg_id=1)
+        log.debug(2.0, "comp_send", msg_id=2)
+        log.debug(3.0, "comp_send", msg_id=3)  # evicts msg 1
+        assert log.count("comp_send") == 2
+        assert [r["msg_id"] for r in log.where("comp_send")] == [2, 3]
+        assert log.between(0.0, 10.0)[0]["msg_id"] == 2
+
+    def test_subscribers_see_records_before_eviction(self):
+        log = TraceLog(debug_capacity=1)
+        seen = []
+        log.subscribe(lambda r: seen.append(r.kind))
+        log.debug(1.0, "x")
+        log.debug(2.0, "y")
+        log.debug(3.0, "z")
+        assert seen == ["x", "y", "z"]
+        assert log.debug_held == 1
+
+    def test_clear_resets_flight_state(self):
+        log = TraceLog(debug_capacity=2)
+        log.debug(1.0, "x")
+        log.debug(2.0, "y")
+        log.debug(3.0, "z")
+        log.clear()
+        assert len(log) == 0
+        assert log.debug_evicted == 0
+        assert log.debug_held == 0
+        log.debug(4.0, "w")
+        assert [r.kind for r in log] == ["w"]
+
+    def test_invalid_capacity_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TraceLog(debug_capacity=0)
+
+    def test_normal_mode_reports_zero_held(self):
+        log = TraceLog()
+        log.debug(1.0, "x")
+        assert log.debug_held == 0
+        assert log.debug_evicted == 0
