@@ -43,7 +43,11 @@ class MssProxyEnv(RuntimeEnv):
 
     def send_system(self, dst_pid: int, subkind: str, fields: Dict[str, Any]) -> None:
         message = SystemMessage(
-            src_pid=self.pid, dst_pid=dst_pid, subkind=subkind, fields=fields
+            src_pid=self.pid,
+            dst_pid=dst_pid,
+            subkind=subkind,
+            fields=fields,
+            msg_id=self._next_msg_id(),
         )
         self._m_sys_messages.inc()
         self.system.metrics.counter(f"system_messages_{subkind}").inc()
@@ -66,7 +70,11 @@ class MssProxyEnv(RuntimeEnv):
             if pid == self.pid:
                 continue
             message = SystemMessage(
-                src_pid=self.pid, dst_pid=pid, subkind=subkind, fields=dict(fields)
+                src_pid=self.pid,
+                dst_pid=pid,
+                subkind=subkind,
+                fields=dict(fields),
+                msg_id=self._next_msg_id(),
             )
             message.broadcast = True
             self.mss.send(message)

@@ -47,10 +47,10 @@ class ElnozahyProcess(ProtocolProcess):
 
     # ------------------------------------------------------------------
     def on_send_computation(self, message: ComputationMessage) -> None:
-        message.piggyback["csn"] = self.csn
+        message.pb = (self.csn, None)
 
     def on_receive_computation(self, message, deliver: Callable[[], None]) -> None:
-        recv_csn = message.piggyback.get("csn", 0)
+        recv_csn, _ = message.protocol_tags()
         if recv_csn > self.csn:
             # The sender checkpointed before sending: checkpoint before
             # processing, so the message cannot become an orphan.

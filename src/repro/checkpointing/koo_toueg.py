@@ -61,7 +61,7 @@ class KooTouegProcess(ProtocolProcess):
 
     # ------------------------------------------------------------------
     def on_send_computation(self, message: ComputationMessage) -> None:
-        message.piggyback["csn"] = self.csn[self.pid]
+        message.pb = (self.csn[self.pid], None)
         self.sent = True
 
     def on_receive_computation(self, message, deliver: Callable[[], None]) -> None:
@@ -69,7 +69,7 @@ class KooTouegProcess(ProtocolProcess):
         # delivery if we are blocked, so here we simply account the
         # dependency and deliver.
         j = message.src_pid
-        recv_csn = message.piggyback.get("csn", 0)
+        recv_csn, _ = message.protocol_tags()
         if recv_csn > self.csn[j]:
             self.csn[j] = recv_csn
         self.r[j] = True

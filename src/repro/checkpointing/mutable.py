@@ -102,15 +102,16 @@ class MutableCheckpointProcess(ProtocolProcess):
     # Block: "Actions taken when P_i sends a computation message to P_j"
     # ------------------------------------------------------------------
     def on_send_computation(self, message: ComputationMessage) -> None:
-        message.piggyback["csn"] = self.csn[self.pid]
+        # Zero-alloc fast lane: the (csn, trigger) pair rides in the
+        # message's dedicated tuple slot instead of the piggyback dict.
         if self.cp_state:
-            message.piggyback["trigger"] = self.own_trigger
+            message.pb = (self.csn[self.pid], self.own_trigger)
             if self.protocol.commit_mode != "broadcast":
                 self.tagged_sent.setdefault(self.own_trigger, set()).add(
                     message.dst_pid
                 )
         else:
-            message.piggyback["trigger"] = None
+            message.pb = (self.csn[self.pid], None)
         self.sent = True
 
     # ------------------------------------------------------------------
@@ -409,8 +410,7 @@ class MutableCheckpointProcess(ProtocolProcess):
         self, message: ComputationMessage, deliver: Callable[[], None]
     ) -> None:
         j = message.src_pid
-        recv_csn: int = message.piggyback.get("csn", 0)
-        msg_trigger: Optional[Trigger] = message.piggyback.get("trigger")
+        recv_csn, msg_trigger = message.protocol_tags()
         if recv_csn <= self.csn[j]:
             self.r[j] = True
             self._hand_off(deliver)

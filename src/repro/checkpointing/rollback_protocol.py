@@ -121,7 +121,13 @@ class DistributedRecovery:
 
     # ------------------------------------------------------------------
     def _send(self, src: int, dst: int, subkind: str, fields: Dict) -> None:
-        message = SystemMessage(src_pid=src, dst_pid=dst, subkind=subkind, fields=fields)
+        message = SystemMessage(
+            src_pid=src,
+            dst_pid=dst,
+            subkind=subkind,
+            fields=fields,
+            msg_id=next(self.system.message_ids),
+        )
         self.system.metrics.counter("system_messages").inc()
         self.system.metrics.counter(f"system_messages_{subkind}").inc()
         self.system.network.send_from_process(src, message)

@@ -39,13 +39,12 @@ class CsnSchemeProcess(MutableCheckpointProcess):
     """Per-process state machine of the basic/revised csn schemes."""
 
     def on_send_computation(self, message: ComputationMessage) -> None:
-        message.piggyback["csn"] = self.csn[self.pid]
-        message.piggyback["trigger"] = None
+        message.pb = (self.csn[self.pid], None)
         self.sent = True
 
     def on_receive_computation(self, message, deliver: Callable[[], None]) -> None:
         j = message.src_pid
-        recv_csn: int = message.piggyback.get("csn", 0)
+        recv_csn, _ = message.protocol_tags()
         if recv_csn <= self.csn[j]:
             self.r[j] = True
             deliver()
@@ -146,8 +145,7 @@ class NoMutableVariantProcess(MutableCheckpointProcess):
 
     def on_receive_computation(self, message, deliver: Callable[[], None]) -> None:
         j = message.src_pid
-        recv_csn: int = message.piggyback.get("csn", 0)
-        msg_trigger = message.piggyback.get("trigger")
+        recv_csn, msg_trigger = message.protocol_tags()
         if recv_csn > self.csn[j]:
             self.csn[j] = recv_csn
             if msg_trigger is not None and not self.cp_state:

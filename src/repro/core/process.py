@@ -62,6 +62,7 @@ class AppProcess:
         self._m_comp_messages = metrics.counter("computation_messages")
         self._m_stale_dropped = metrics.counter("stale_incarnation_dropped")
         self._m_blocking_time = metrics.histogram("blocking_time")
+        self._next_msg_id = system.message_ids.__next__
         host.attach_process(pid, self.on_message)
 
     # -- application actions ------------------------------------------------
@@ -74,8 +75,13 @@ class AppProcess:
 
     def _do_send(self, dst_pid: int, payload: Any) -> None:
         self.vc.tick()
-        message = ComputationMessage(src_pid=self.pid, dst_pid=dst_pid, payload=payload)
-        message.piggyback["vc"] = self.vc.snapshot()
+        message = ComputationMessage(
+            src_pid=self.pid,
+            dst_pid=dst_pid,
+            payload=payload,
+            msg_id=self._next_msg_id(),
+        )
+        message.vc = self.vc.snapshot()
         if self.incarnation:
             message.piggyback["inc"] = self.incarnation
         self.protocol_process.on_send_computation(message)
@@ -83,7 +89,7 @@ class AppProcess:
         trace = self.system.sim.trace
         if trace.debug_on:
             trace.debug(
-                self.system.sim.now,
+                self.system.sim._now,
                 "comp_send",
                 src=self.pid,
                 dst=dst_pid,
@@ -110,7 +116,7 @@ class AppProcess:
                 return
             self.protocol_process.on_system_message(message)
         elif isinstance(message, ComputationMessage):
-            if message.piggyback.get("inc", 0) < self.incarnation:
+            if self.incarnation and message.piggyback_get("inc", 0) < self.incarnation:
                 # A ghost from a rolled-back incarnation: drop it.
                 self._m_stale_dropped.inc()
                 return
@@ -127,16 +133,17 @@ class AppProcess:
 
     def _deliver(self, message: ComputationMessage) -> None:
         """Hand a computation message to the application."""
-        vc_stamp = message.piggyback.get("vc")
+        vc_stamp = message.vc_stamp()
         if vc_stamp is not None:
             self.vc.merge(vc_stamp)
         self.vc.tick()
-        self.app_state["messages_received"] += 1
-        self.app_state["steps"] += 1
+        app_state = self.app_state
+        app_state["messages_received"] += 1
+        app_state["steps"] += 1
         trace = self.system.sim.trace
         if trace.debug_on:
             trace.debug(
-                self.system.sim.now,
+                self.system.sim._now,
                 "comp_recv",
                 src=message.src_pid,
                 dst=self.pid,
@@ -203,13 +210,18 @@ class RuntimeEnv(ProcessEnv):
         metrics = self.system.metrics
         self._m_sys_messages = metrics.counter("system_messages")
         self._m_broadcasts = metrics.counter("broadcasts")
+        self._next_msg_id = self.system.message_ids.__next__
 
     def now(self) -> float:
         return self.system.sim.now
 
     def send_system(self, dst_pid: int, subkind: str, fields: Dict[str, Any]) -> None:
         message = SystemMessage(
-            src_pid=self.pid, dst_pid=dst_pid, subkind=subkind, fields=fields
+            src_pid=self.pid,
+            dst_pid=dst_pid,
+            subkind=subkind,
+            fields=fields,
+            msg_id=self._next_msg_id(),
         )
         self._m_sys_messages.inc()
         self.system.metrics.counter(f"system_messages_{subkind}").inc()
@@ -235,7 +247,11 @@ class RuntimeEnv(ProcessEnv):
         return self.system.network.broadcast_system(
             self.pid,
             lambda pid: SystemMessage(
-                src_pid=self.pid, dst_pid=pid, subkind=subkind, fields=dict(fields)
+                src_pid=self.pid,
+                dst_pid=pid,
+                subkind=subkind,
+                fields=dict(fields),
+                msg_id=self._next_msg_id(),
             ),
         )
 
@@ -261,6 +277,7 @@ class RuntimeEnv(ProcessEnv):
                 dst_pid=None,
                 checkpoint_ref=record,
                 size_bytes=record.size_bytes,
+                msg_id=self._next_msg_id(),
             )
             data.on_stored = on_saved  # consumed by the MSS, see mss hook
             host.transfer_checkpoint_data(data)

@@ -150,11 +150,20 @@ class ExperimentRunner:
             self._try_initiate(self._deferred.popleft())
 
     def _finish(self) -> None:
+        # Idempotent: late commits (e.g. an injected concurrent wave
+        # finishing after the target count was reached) re-enter via
+        # _on_commit; a second stop() here would abort the post-run
+        # settle/quiescence drains mid-flight.
+        if self._done:
+            return
         self._done = True
         self.workload.stop()
         for timer in self._timers.values():
             if timer is not None:
                 timer.cancel()
+        # Halt the kernel loop after the current event (no-op when the
+        # runner is not inside sim.run, e.g. on the time-limit path).
+        self.system.sim.stop()
 
     # -- main loop ---------------------------------------------------------------
     def run(self, max_events: Optional[int] = None) -> RunResult:
@@ -162,21 +171,31 @@ class ExperimentRunner:
         sim = self.system.sim
         self.workload.start()
         self._schedule_first_initiations()
-        processed = 0
         limit = self.run_config.time_limit
-        while not self._done:
-            if limit is not None and sim.now >= limit:
-                # Stop scheduling new work so post-run quiescence drains
-                # instead of running the experiment forever.
-                self._finish()
-                break
-            if max_events is not None and processed >= max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
-            if not sim.step():
+        if limit is None:
+            # Hot path: hand the whole run to the kernel's fused loop;
+            # _finish() stops it from inside the final commit callback.
+            if not self._done:
+                sim.run(max_events=max_events)
+            if not self._done:
                 raise SimulationError(
                     "event queue drained before reaching the initiation target"
                 )
-            processed += 1
+        else:
+            processed = 0
+            while not self._done:
+                if sim.now >= limit:
+                    # Stop scheduling new work so post-run quiescence
+                    # drains instead of running the experiment forever.
+                    self._finish()
+                    break
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                if not sim.step():
+                    raise SimulationError(
+                        "event queue drained before reaching the initiation target"
+                    )
+                processed += 1
         # Let the final commit broadcast settle so every process's state
         # (cp_state, discarded mutables) is final before measuring.
         sim.run(until=sim.now + 1.0)

@@ -21,10 +21,12 @@ from repro.checkpointing.types import (
     CheckpointRecord,
     reset_checkpoint_ids,
 )
+from itertools import count
+
 from repro.core.config import SystemConfig
 from repro.core.process import AppProcess
 from repro.errors import ConfigurationError
-from repro.net.message import ComputationMessage, reset_message_ids
+from repro.net.message import ComputationMessage
 from repro.net.mh import MobileHost
 from repro.net.mss import MobileSupportStation
 from repro.net.network import MobileNetwork
@@ -55,8 +57,10 @@ class MobileSystem:
         # Fresh id spaces per system: ids only need uniqueness within a
         # run, and restarting them makes identical runs bit-identical
         # even inside one interpreter (replay, digests, worker reuse).
+        # Message ids are owned by the system (no module-global reset, so
+        # two systems in one interpreter never bleed into each other).
         reset_checkpoint_ids()
-        reset_message_ids()
+        self.message_ids = count()
         # Message-level (DEBUG) records are the bulk of trace volume; the
         # level is fixed at build time so hot-path emitters can check one
         # bool (`trace.debug_on`) instead of re-reading config. A flight
@@ -76,6 +80,9 @@ class MobileSystem:
         #: layer (net, protocol, kernel) publishes named instruments here
         self.metrics: MetricsRegistry = self.sim.metrics
         self.network = MobileNetwork(self.sim, config.network)
+        # Net-layer constructors (disconnect transfers) draw from the
+        # same id space so msg_ids stay globally ordered within a run.
+        self.network.message_ids = self.message_ids
         self._deliver_hooks: List[DeliverHook] = []
         self._send_hooks: List[DeliverHook] = []
 

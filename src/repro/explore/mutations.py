@@ -39,8 +39,7 @@ class _SkipMutableProcess(MutableCheckpointProcess):
         self, message: ComputationMessage, deliver: Callable[[], None]
     ) -> None:
         j = message.src_pid
-        recv_csn: int = message.piggyback.get("csn", 0)
-        msg_trigger = message.piggyback.get("trigger")
+        recv_csn, msg_trigger = message.protocol_tags()
         if recv_csn > self.csn[j]:
             self.csn[j] = recv_csn
             if msg_trigger is not None and not self.cp_state:

@@ -21,9 +21,18 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional, Tuple
 
-from repro.net.message import Message
+from repro.net.message import (
+    CHECKPOINT_DATA_BYTES,
+    COMPUTATION_MESSAGE_BYTES,
+    SYSTEM_MESSAGE_BYTES,
+    Message,
+)
 from repro.obs.registry import Counter
 from repro.sim.kernel import Simulator
+
+#: the fixed wire sizes of the paper's §5.1 model; per-channel delays
+#: for these are precomputed so the hot path never divides by bandwidth
+_PAPER_SIZES = (COMPUTATION_MESSAGE_BYTES, SYSTEM_MESSAGE_BYTES, CHECKPOINT_DATA_BYTES)
 
 DeliverFn = Callable[[Message], None]
 
@@ -87,6 +96,12 @@ class FifoChannel:
             # Unregistered sinks: same code path, not in any snapshot.
             self._c_bytes = Counter(f"{name}.bytes")
             self._c_msgs = Counter(f"{name}.msgs")
+        # Memoized size -> serialization time, seeded with the paper's
+        # three fixed message sizes (same float expression as the miss
+        # path, so cached and computed delays are bit-identical).
+        self._tx_delay = {
+            size: size * 8.0 / bandwidth_bps for size in _PAPER_SIZES
+        }
 
     @property
     def paused(self) -> bool:
@@ -95,7 +110,11 @@ class FifoChannel:
 
     def transmission_delay(self, message: Message) -> float:
         """Pure serialization time for ``message`` on this link."""
-        return message.size_bytes * 8.0 / self.bandwidth_bps
+        size = message.size_bytes
+        delay = self._tx_delay.get(size)
+        if delay is None:
+            delay = self._tx_delay[size] = size * 8.0 / self.bandwidth_bps
+        return delay
 
     def send(self, message: Message) -> None:
         """Enqueue ``message`` for FIFO delivery."""
@@ -144,19 +163,23 @@ class FifoChannel:
         return self._busy_until
 
     def _transmit(self, message: Message) -> None:
-        now = self.sim.now
-        self.bytes_sent += message.size_bytes
+        now = self.sim._now
+        size = message.size_bytes
+        self.bytes_sent += size
         self.messages_sent += 1
-        self._c_bytes.inc(message.size_bytes)
+        self._c_bytes.inc(size)
         self._c_msgs.inc()
+        delay = self._tx_delay.get(size)
+        if delay is None:
+            delay = self._tx_delay[size] = size * 8.0 / self.bandwidth_bps
         if self.contention:
             start = max(now, self._busy_until)
-            finish = start + self.transmission_delay(message)
+            finish = start + delay
             self._busy_until = finish
             arrival = finish + self.latency
         else:
             # Constant per-message delay, clamped to preserve FIFO order.
-            arrival = now + self.transmission_delay(message) + self.latency
+            arrival = now + delay + self.latency
             if arrival < self._last_arrival:
                 arrival = self._last_arrival
         self._last_arrival = arrival

@@ -119,6 +119,7 @@ def disconnect(
         src_pid=pid,
         dst_pid=None,
         checkpoint_ref=disconnect_checkpoint,
+        msg_id=next(network.message_ids),
     )
     if checkpoint_bytes is not None:
         data.size_bytes = checkpoint_bytes

@@ -108,17 +108,18 @@ class MobileHost(Host):
         if self.uplink is None or self.mss is None:
             self._outbox.append(message)
             return
-        self.last_activity = self.sim.now
+        self.last_activity = self.sim._now
         self.uplink.send(message)
 
     def on_downlink_arrival(self, message: Message) -> None:
         """Wireless delivery from the MSS: wake if dozing, then deliver."""
+        now = self.sim._now
         if self.dozing:
             self.dozing = False
             self.wakeups += 1
             self.sim.metrics.counter("net.wakeups").inc()
-            self.doze_time += self.sim.now - self._doze_started
-        self.last_activity = self.sim.now
+            self.doze_time += now - self._doze_started
+        self.last_activity = now
         self._downlink_counter += 1
         self.last_downlink_sn = self._downlink_counter
         self.deliver_to_process(message)

@@ -15,6 +15,7 @@ details are orthogonal to checkpointing.
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, UnknownHostError
@@ -38,6 +39,9 @@ class MobileNetwork:
         self._host_of_pid: Dict[int, Host] = {}
         self._mss_of_mh: Dict[str, MobileSupportStation] = {}
         self._wired: Dict[Tuple[str, str], FifoChannel] = {}
+        #: msg_id allocator for messages the net layer itself constructs;
+        #: a MobileSystem replaces this with its own counter at build time
+        self.message_ids = count()
         # System-wide routing counters, published to the run's registry
         # (the old `wired_messages`/`wireless_messages` int fields).
         self._c_wired_routed = sim.metrics.counter("net.wired.routed")

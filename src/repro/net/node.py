@@ -21,6 +21,10 @@ ProcessHandler = Callable[[Message], None]
 class Host:
     """A network node hosting zero or more processes."""
 
+    #: hosts are reachable unless a MobileHost flips its instance flag;
+    #: a class-level default lets hot paths read it as a plain attribute
+    disconnected = False
+
     def __init__(self, network: "MobileNetwork", name: str) -> None:
         self.network = network
         self.name = name

@@ -30,11 +30,13 @@ from repro.core.config import (
 )
 from repro.core.runner import ExperimentRunner
 from repro.core.system import MobileSystem
+from repro.net.message import ComputationMessage
 from repro.workload.point_to_point import PointToPointWorkload
 
 __all__ = [
     "BenchCase",
     "BenchResult",
+    "MicroBenchCase",
     "calibrate",
     "compare",
     "default_cases",
@@ -79,22 +81,46 @@ class BenchCase:
         """Execute once; returns (events_processed, wall_seconds).
 
         ``burn`` (testing hook) is invoked once per kernel event to
-        plant an artificial slowdown for regression-detection tests.
+        plant an artificial slowdown for regression-detection tests; it
+        rides the kernel's :meth:`~repro.sim.kernel.Simulator.set_burn`
+        hook, so it slows the fast loop the runner actually uses.
         """
         system, runner = self.build()
         sim = system.sim
         if burn is not None:
-            original_step = sim.step
-
-            def slowed_step() -> bool:
-                burn()
-                return original_step()
-
-            sim.step = slowed_step  # type: ignore[method-assign]
+            sim.set_burn(burn)
         start = time.perf_counter()
         runner.run()
         elapsed = time.perf_counter() - start
         return sim.events_processed, elapsed
+
+
+@dataclass
+class MicroBenchCase:
+    """A kernel-free micro-benchmark: times ``op(i)`` over a fixed loop.
+
+    Duck-compatible with :class:`BenchCase` (same ``name``/``run``
+    surface), so it slots into :func:`run_bench_suite` and
+    :func:`compare` unchanged. The reported "events" are iterations.
+    """
+
+    name: str
+    op: Callable[[int], Any]
+    iterations: int = 200_000
+    description: str = ""
+
+    def run(self, burn: Optional[Callable[[], None]] = None) -> Tuple[int, float]:
+        op = self.op
+        start = time.perf_counter()
+        if burn is None:
+            for i in range(self.iterations):
+                op(i)
+        else:
+            for i in range(self.iterations):
+                burn()
+                op(i)
+        elapsed = time.perf_counter() - start
+        return self.iterations, elapsed
 
 
 @dataclass
@@ -140,7 +166,23 @@ def _experiment_case(
     return BenchCase(name=name, build=build, description=description)
 
 
-def default_cases() -> List[BenchCase]:
+def _message_alloc_case() -> MicroBenchCase:
+    """Message construction + tagging micro-bench (tracks the slotted
+    message classes and the zero-alloc piggyback fast lane)."""
+
+    def op(i: int) -> Any:
+        message = ComputationMessage(src_pid=0, dst_pid=1, payload=i, msg_id=i)
+        message.pb = (i, None)
+        return message
+
+    return MicroBenchCase(
+        name="message_alloc",
+        op=op,
+        description="construct one slotted ComputationMessage and tag its csn pair",
+    )
+
+
+def default_cases() -> List[Any]:
     """The standing kernel benchmark suite.
 
     The trace-on/trace-off pair measures the leveled-tracing fast path:
@@ -165,6 +207,14 @@ def default_cases() -> List[BenchCase]:
             n_processes=32,
             max_initiations=8,
         ),
+        _experiment_case(
+            "mutable_32p_trace_on",
+            "32-process run with full message tracing (DEBUG)",
+            trace_messages=True,
+            n_processes=32,
+            max_initiations=8,
+        ),
+        _message_alloc_case(),
     ]
 
 

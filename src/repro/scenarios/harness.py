@@ -199,7 +199,7 @@ class ScenarioHarness:
         self.tick()
         self.clocks[src].tick()
         message = ComputationMessage(src_pid=src, dst_pid=dst, payload=payload)
-        message.piggyback["vc"] = self.clocks[src].snapshot()
+        message.vc = self.clocks[src].snapshot()
         self.processes[src].on_send_computation(message)
         self.app_state[src]["messages_sent"] += 1
         self.trace.record(
@@ -244,7 +244,7 @@ class ScenarioHarness:
     def _consume(self, flight: InFlight) -> None:
         message = flight.message
         dst = flight.dst
-        vc = message.piggyback.get("vc")
+        vc = message.vc_stamp()
         if vc is not None:
             self.clocks[dst].merge(vc)
         self.clocks[dst].tick()

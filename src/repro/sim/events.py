@@ -20,9 +20,13 @@ class Event:
     Instances are created by :meth:`repro.sim.kernel.Simulator.schedule`;
     user code should treat them as opaque handles, using only
     :meth:`cancel` and :attr:`cancelled`.
+
+    ``owner`` is the kernel backref used for cancelled-event accounting
+    (so the heap can be compacted when mostly dead) and for freelist
+    recycling; it is managed entirely by the :class:`Simulator`.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled", "owner")
 
     def __init__(
         self,
@@ -38,6 +42,7 @@ class Event:
         self.callback = callback
         self.args = args
         self._cancelled = False
+        self.owner = None
 
     @property
     def cancelled(self) -> bool:
@@ -49,9 +54,14 @@ class Event:
 
         Cancelling an event that already fired or was already cancelled is
         a no-op; the kernel lazily discards cancelled events when they
-        reach the head of the queue.
+        reach the head of the queue (or earlier, when a compaction sweep
+        rebuilds a mostly-cancelled heap).
         """
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            owner = self.owner
+            if owner is not None:
+                owner._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (

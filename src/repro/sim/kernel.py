@@ -15,7 +15,7 @@ loop easy to reason about and trivially deterministic.
 from __future__ import annotations
 
 import heapq
-from itertools import count
+from sys import getrefcount
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Optional, Tuple
 
@@ -26,6 +26,16 @@ from repro.sim.trace import TraceLog
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.obs.profiler import KernelProfiler
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: upper bound on recycled Event handles kept per simulator
+_FREELIST_MAX = 1024
+
+#: cancelled events tolerated in the heap before a compaction sweep is
+#: even considered (tiny queues are cheaper to drain lazily)
+_COMPACT_MIN_CANCELLED = 32
 
 
 class SchedulePolicy:
@@ -103,14 +113,20 @@ class Simulator:
         policy: Optional[SchedulePolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        self._queue: List[Event] = []
-        self._seq = count()
+        # Heap entries are (time, priority, seq, event) tuples so heapq
+        # compares entirely in C; Event.__lt__ never runs on the hot path.
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
         self._now: float = 0.0
         self._events_processed: int = 0
         self._running = False
+        self._stop_requested = False
         self._policy = policy
         self._profiler: Optional["KernelProfiler"] = None
+        self._burn: Optional[Callable[[], None]] = None
         self._stream_floors: Dict[Hashable, Tuple[float, int]] = {}
+        self._free: List[Event] = []
+        self._cancelled_pending = 0
         self.trace: TraceLog = trace if trace is not None else TraceLog()
         self.metrics: MetricsRegistry = (
             metrics if metrics is not None else MetricsRegistry()
@@ -174,6 +190,66 @@ class Simulator:
         """Number of events in the queue, including cancelled ones."""
         return len(self._queue)
 
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still sitting in the heap.
+
+        Bounded: once more than half the heap is cancelled (and the dead
+        fraction is non-trivial in absolute terms), the kernel compacts
+        the heap in place, so long runs with many cancelled timers never
+        pay O(dead) pop costs.
+        """
+        return self._cancelled_pending
+
+    def set_burn(self, burn: Optional[Callable[[], None]]) -> None:
+        """Install a per-event burn hook (benchmark self-test only).
+
+        While set, :meth:`run` uses the instrumented loop and invokes
+        ``burn()`` before every dispatched event — the supported way for
+        the bench harness to plant an artificial slowdown.
+        """
+        self._burn = burn
+
+    def stop(self) -> None:
+        """Ask the running event loop to halt after the current event.
+
+        Only meaningful from inside an event callback during :meth:`run`;
+        the flag is cleared on the next :meth:`run` call.
+        """
+        self._stop_requested = True
+
+    # -- cancelled-event accounting (called from Event.cancel) ----------
+    def _note_cancelled(self) -> None:
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending > _COMPACT_MIN_CANCELLED
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In-place (slice assignment) so a loop that bound ``self._queue``
+        to a local keeps operating on the live heap. Pop order is fully
+        determined by the (time, priority, seq) keys, so a rebuild never
+        changes the dispatch sequence.
+        """
+        queue = self._queue
+        dead = [entry[3] for entry in queue if entry[3]._cancelled]
+        queue[:] = [entry for entry in queue if not entry[3]._cancelled]
+        heapq.heapify(queue)
+        self._cancelled_pending = 0
+        free = self._free
+        for event in dead:
+            event.owner = None
+            # dead list + loop variable + getrefcount argument == 3:
+            # nobody else holds the handle, so it is safe to recycle.
+            if len(free) < _FREELIST_MAX and getrefcount(event) == 3:
+                event.callback = None
+                event.args = ()
+                free.append(event)
+
     def schedule(
         self,
         delay: float,
@@ -215,8 +291,21 @@ class Simulator:
                 if floor is not None and (when, priority) < floor:
                     when, priority = floor
                 self._stream_floors[stream] = (when, priority)
-        event = Event(when, next(self._seq), callback, args, priority=priority)
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = when
+            event.priority = priority
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event._cancelled = False
+        else:
+            event = Event(when, seq, callback, args, priority=priority)
+        event.owner = self
+        _heappush(self._queue, (when, priority, seq, event))
         if self._profiler is not None:
             self._profiler.on_push(len(self._queue))
         return event
@@ -230,9 +319,13 @@ class Simulator:
 
         Returns ``False`` when the queue is exhausted, ``True`` otherwise.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        while queue:
+            event = _heappop(queue)[3]
+            if event._cancelled:
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
+                event.owner = None
                 if self._profiler is not None:
                     self._profiler.on_cancelled_pop()
                 continue
@@ -267,43 +360,111 @@ class Simulator:
             Safety valve: raise :class:`SimulationError` if more than this
             many events are processed (catches runaway feedback loops in
             protocol code).
+
+        Detached runs (no profiler, no burn hook) use a fused fast loop
+        with ``heappop``, the queue, and the freelist bound to locals;
+        :meth:`set_profiler`/:meth:`set_burn` swap in the instrumented
+        loop, so profiled behavior is unchanged.
         """
         if self._running:
             raise SimulationError("run() called reentrantly")
         self._running = True
-        processed_at_start = self._events_processed
+        self._stop_requested = False
         try:
-            while self._queue:
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
-                    if self._profiler is not None:
-                        self._profiler.on_cancelled_pop()
-                    continue
-                if until is not None and head.time > until:
-                    break
-                if (
-                    max_events is not None
-                    and self._events_processed - processed_at_start >= max_events
-                ):
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} (runaway simulation?)"
-                    )
-                heapq.heappop(self._queue)
-                self._now = head.time
-                self._events_processed += 1
-                if self._profiler is not None:
-                    started = perf_counter()
-                    head.callback(*head.args)
-                    self._profiler.on_event(
-                        head.callback, perf_counter() - started, len(self._queue)
-                    )
-                else:
-                    head.callback(*head.args)
-            if until is not None and self._now < until:
+            if self._profiler is not None or self._burn is not None:
+                self._run_instrumented(until, max_events)
+            else:
+                self._run_fast(until, max_events)
+            if until is not None and self._now < until and not self._stop_requested:
                 self._now = until
         finally:
             self._running = False
+
+    def _run_fast(self, until: Optional[float], max_events: Optional[int]) -> None:
+        """The detached-mode event loop (everything bound to locals)."""
+        queue = self._queue
+        pop = _heappop
+        free = self._free
+        free_append = free.append
+        refcount = getrefcount
+        budget = (
+            None if max_events is None else self._events_processed + max_events
+        )
+        while queue:
+            entry = pop(queue)
+            event = entry[3]
+            if event._cancelled:
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
+                event.owner = None
+                continue
+            when = entry[0]
+            if until is not None and when > until:
+                _heappush(queue, entry)
+                break
+            if budget is not None and self._events_processed >= budget:
+                _heappush(queue, entry)
+                raise SimulationError(
+                    f"exceeded max_events={max_events} (runaway simulation?)"
+                )
+            self._now = when
+            entry = None  # release the heap tuple: makes the refcount check exact
+            self._events_processed += 1
+            event.callback(*event.args)
+            # Recycle the handle iff nobody else holds it (local binding
+            # + getrefcount argument == 2). Timer clears its handle
+            # before invoking the callback, so timer events recycle too.
+            if refcount(event) == 2 and len(free) < _FREELIST_MAX:
+                event.callback = None
+                event.args = ()
+                event.owner = None
+                free_append(event)
+            if self._stop_requested:
+                break
+
+    def _run_instrumented(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> None:
+        """The profiled/burn-hooked event loop (per-event instrumentation)."""
+        profiler = self._profiler
+        burn = self._burn
+        processed_at_start = self._events_processed
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            event = entry[3]
+            if event._cancelled:
+                _heappop(queue)
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
+                event.owner = None
+                if profiler is not None:
+                    profiler.on_cancelled_pop()
+                continue
+            if until is not None and entry[0] > until:
+                break
+            if (
+                max_events is not None
+                and self._events_processed - processed_at_start >= max_events
+            ):
+                raise SimulationError(
+                    f"exceeded max_events={max_events} (runaway simulation?)"
+                )
+            _heappop(queue)
+            self._now = entry[0]
+            self._events_processed += 1
+            if burn is not None:
+                burn()
+            if profiler is not None:
+                started = perf_counter()
+                event.callback(*event.args)
+                profiler.on_event(
+                    event.callback, perf_counter() - started, len(queue)
+                )
+            else:
+                event.callback(*event.args)
+            if self._stop_requested:
+                break
 
     def run_until_idle(self, max_events: Optional[int] = None) -> None:
         """Run until the event queue is completely drained."""

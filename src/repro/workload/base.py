@@ -46,7 +46,7 @@ class Workload(ABC):
     def _send(self, pid: int, dst_pid: int) -> None:
         """Emit one application message (skipped while disconnected)."""
         process = self.system.processes[pid]
-        if getattr(process.host, "disconnected", False):
+        if process.host.disconnected:
             return
         self.messages_generated += 1
         process.send_computation(dst_pid, payload=self.messages_generated)

@@ -20,22 +20,43 @@ class PointToPointWorkload(Workload):
     ) -> None:
         super().__init__(system)
         self.config = config
+        if config.mean_send_interval <= 0:
+            raise ValueError(
+                f"exponential mean must be positive, got {config.mean_send_interval!r}"
+            )
+        self._lambd = 1.0 / config.mean_send_interval
+        # Per-pid bound stream methods and peer lists, resolved once:
+        # the draws come from the same named streams in the same order as
+        # the per-call lookups they replace, so sequences are identical.
+        self._expo = {}
+        self._choice = {}
+        self._peers = {}
+
+    def _bindings(self, pid: int):
+        expo = self._expo.get(pid)
+        if expo is None:
+            streams = self.system.streams
+            expo = self._expo[pid] = streams.stream(f"workload.p2p.{pid}").expovariate
+            self._choice[pid] = streams.stream(f"workload.p2p.dst.{pid}").choice
+        peers = self._peers.get(pid)
+        if peers is None or len(peers) != len(self.system.processes) - 1:
+            peers = self._peers[pid] = [
+                p for p in self.system.processes if p != pid
+            ]
+        return expo, self._choice[pid], peers
 
     def _schedule_initial(self) -> None:
         for pid in self.system.processes:
             self._schedule_next(pid)
 
     def _schedule_next(self, pid: int) -> None:
-        delay = self.system.streams.exponential(
-            f"workload.p2p.{pid}", self.config.mean_send_interval
-        )
-        self.system.sim.schedule(delay, self._fire, pid)
+        expo, _, _ = self._bindings(pid)
+        self.system.sim.schedule(expo(self._lambd), self._fire, pid)
 
     def _fire(self, pid: int) -> None:
         if not self.running:
             return
-        others = [p for p in self.system.processes if p != pid]
-        if others:
-            dst = self.system.streams.choice(f"workload.p2p.dst.{pid}", others)
-            self._send(pid, dst)
-        self._schedule_next(pid)
+        expo, choice, peers = self._bindings(pid)
+        if peers:
+            self._send(pid, choice(peers))
+        self.system.sim.schedule(expo(self._lambd), self._fire, pid)

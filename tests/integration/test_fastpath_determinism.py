@@ -1,0 +1,125 @@
+"""Fast-path determinism witnesses.
+
+The hot-path overhaul (slotted messages, pooled events, the kernel's
+fused run loop, zero-alloc piggybacking) must be *invisible* to every
+observable of a run. These tests pin byte-exact golden values captured
+on the pre-overhaul kernel: the trace ``content_hash``, the sha256 of
+the sorted metrics dict, the event count and final sim time. Any
+change here means the fast path altered behaviour, not just speed.
+
+A campaign cross-check asserts that worker parallelism stays
+bit-identical too (the fast loop runs inside forked workers).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.campaign.engine import CampaignEngine
+from repro.campaign.spec import CampaignSpec
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.core.config import PointToPointWorkloadConfig, RunConfig, SystemConfig
+from repro.core.runner import ExperimentRunner
+from repro.core.system import MobileSystem
+from repro.workload.point_to_point import PointToPointWorkload
+
+#: golden values captured on the pre-overhaul kernel (commit 2258971);
+#: the overhaul must reproduce them byte for byte
+GOLDEN = {
+    "A": {  # 8 processes, DEBUG tracing on
+        "trace_hash": "9685b119d6fe43aa8c76e3163ec3a983a95ce8166d06743b71e8d02bd6688038",
+        "metrics_sha256": "f0ef09feb9dd19804c7a3ad08086e1214fb9691b32186a1f8b39ab570c6e85f4",
+        "wall_events": 4527,
+        "sim_time": 2776.6242658445112,
+    },
+    "B": {  # 16 processes, tracing off (INFO)
+        "trace_hash": "792922785025ba7fd51a3cbfc9716c6bda78f8ff1e729b7cda2aca42f2d38be7",
+        "metrics_sha256": "63322c4969e27c3450b32605915a4e09f086c6a122489b2bd45fb129ea5e7193",
+        "wall_events": 12675,
+        "sim_time": 3652.4022692331855,
+    },
+}
+
+
+def _run(n_processes: int, seed: int, trace_messages: bool, max_initiations: int):
+    config = SystemConfig(
+        n_processes=n_processes, seed=seed, trace_messages=trace_messages
+    )
+    system = MobileSystem(config, MutableCheckpointProtocol())
+    workload = PointToPointWorkload(
+        system, PointToPointWorkloadConfig(mean_send_interval=15.0)
+    )
+    runner = ExperimentRunner(
+        system,
+        workload,
+        RunConfig(max_initiations=max_initiations, warmup_initiations=1),
+    )
+    result = runner.run(max_events=10_000_000)
+    return system, result
+
+
+def _metrics_sha256(result) -> str:
+    return hashlib.sha256(
+        json.dumps(result.metrics, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def _assert_golden(system, result, golden) -> None:
+    assert system.sim.trace.content_hash() == golden["trace_hash"]
+    assert _metrics_sha256(result) == golden["metrics_sha256"]
+    assert system.sim.events_processed == golden["wall_events"]
+    assert system.sim.now == golden["sim_time"]
+
+
+def test_trace_on_run_matches_pre_overhaul_golden():
+    """Config A exercises the DEBUG-trace path (slow-loop candidates:
+    per-message trace records, vector-clock stamps)."""
+    system, result = _run(8, 20260806, True, 4)
+    _assert_golden(system, result, GOLDEN["A"])
+
+
+def test_trace_off_run_matches_pre_overhaul_golden():
+    """Config B exercises the fused fast loop end to end."""
+    system, result = _run(16, 7, False, 6)
+    _assert_golden(system, result, GOLDEN["B"])
+
+
+def test_fast_loop_runs_are_self_identical():
+    """Two fresh systems, same seed: identical hashes (freelist reuse
+    and heap compaction must not leak state between runs)."""
+    a_system, a_result = _run(8, 20260806, True, 4)
+    b_system, b_result = _run(8, 20260806, True, 4)
+    assert a_system.sim.trace.content_hash() == b_system.sim.trace.content_hash()
+    assert _metrics_sha256(a_result) == _metrics_sha256(b_result)
+
+
+def test_campaign_workers_bit_identical():
+    """The fast loop inside forked campaign workers changes nothing:
+    workers=4 result payloads equal workers=1 (minus wall time)."""
+    spec = CampaignSpec(
+        name="fastpath-witness",
+        protocols=["mutable"],
+        workloads=[
+            {"kind": "p2p", "mean_send_interval": interval}
+            for interval in (30.0, 12.0)
+        ],
+        configs=[{"n_processes": 4, "trace_messages": True}],
+        run={"max_initiations": 3, "warmup_initiations": 1},
+        replicates=2,
+        seed=3,
+    )
+    serial = CampaignEngine(spec, workers=1).run()
+    parallel = CampaignEngine(spec, workers=4).run()
+    assert serial.total == parallel.total == 4
+
+    def rows(report):
+        return [
+            {k: v for k, v in row.items() if k != "wall_time"}
+            for row in report.rows()
+        ]
+
+    assert rows(serial) == rows(parallel)
+    assert [r.to_dict() for r in serial.results()] == [
+        r.to_dict() for r in parallel.results()
+    ]

@@ -1,0 +1,138 @@
+"""Dict round-trips for the slotted message classes.
+
+Every subclass must survive ``to_dict`` → ``message_from_dict`` with
+identical fields — including the lazily-absent piggyback/fields dicts
+(absent stays absent, never materialized by the trip) and the fast
+``pb``/``vc`` tuple slots. The export/import trace layers depend on
+this being lossless.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.net.message import (
+    CheckpointDataMessage,
+    ComputationMessage,
+    Message,
+    SystemMessage,
+    message_from_dict,
+)
+
+
+def roundtrip(message):
+    data = message.to_dict()
+    json.dumps(data)  # export path needs JSON-safe dicts
+    return message_from_dict(data), data
+
+
+def assert_base_fields_equal(a, b):
+    assert type(a) is type(b)
+    assert a.kind == b.kind
+    assert a.src_pid == b.src_pid
+    assert a.dst_pid == b.dst_pid
+    assert a.size_bytes == b.size_bytes
+    assert a.broadcast == b.broadcast
+    assert a.msg_id == b.msg_id
+
+
+def test_base_message_roundtrip():
+    m = Message(src_pid=2, dst_pid=5, size_bytes=99, broadcast=False, msg_id=7)
+    back, data = roundtrip(m)
+    assert_base_fields_equal(m, back)
+    assert data["kind"] == "message"
+
+
+def test_computation_message_roundtrip_with_fast_slots():
+    m = ComputationMessage(src_pid=0, dst_pid=3, payload=42, msg_id=11)
+    m.pb = (5, ("t", 1))
+    m.vc = (1, 0, 2, 0)
+    back, data = roundtrip(m)
+    assert_base_fields_equal(m, back)
+    assert back.payload == 42
+    assert back.pb == (5, ("t", 1))
+    assert back.vc == (1, 0, 2, 0)
+    assert back.protocol_tags() == (5, ("t", 1))
+    assert back.vc_stamp() == (1, 0, 2, 0)
+
+
+def test_computation_message_lazy_piggyback_stays_absent():
+    m = ComputationMessage(src_pid=0, dst_pid=1, msg_id=1)
+    back, data = roundtrip(m)
+    assert "piggyback" not in data
+    assert "pb" not in data
+    assert back._piggyback is None
+    assert back.pb is None
+    assert back.protocol_tags() == (0, None)
+    assert back.piggyback_get("anything", "default") == "default"
+
+
+def test_computation_message_dict_piggyback_roundtrip():
+    m = ComputationMessage(src_pid=1, dst_pid=2, msg_id=9)
+    m.piggyback["csn"] = 3
+    m.piggyback["inc"] = 1
+    back, data = roundtrip(m)
+    assert data["piggyback"] == {"csn": 3, "inc": 1}
+    assert back.piggyback == {"csn": 3, "inc": 1}
+    assert back.piggyback_get("inc") == 1
+    # dict lane only: the tags reader falls back to the dict keys
+    assert back.protocol_tags() == (3, None)
+
+
+def test_materialized_piggyback_reflects_fast_slots():
+    m = ComputationMessage(src_pid=0, dst_pid=1, msg_id=2)
+    m.pb = (7, ("trig", 0))
+    m.vc = (4, 4)
+    assert m.piggyback == {"csn": 7, "trigger": ("trig", 0), "vc": (4, 4)}
+
+
+def test_system_message_roundtrip():
+    m = SystemMessage(src_pid=4, dst_pid=0, subkind="request", msg_id=13)
+    m.fields["mr"] = [1, 2, 3]
+    m.fields["trigger"] = ("t", 2)
+    back, data = roundtrip(m)
+    assert_base_fields_equal(m, back)
+    assert back.subkind == "request"
+    assert back.fields == {"mr": [1, 2, 3], "trigger": ("t", 2)}
+    # the trip must hand back a fresh dict, not alias the original
+    back.fields["x"] = 1
+    assert "x" not in m.fields
+
+
+def test_system_message_lazy_fields_stay_absent():
+    m = SystemMessage(src_pid=0, dst_pid=1, subkind="commit", msg_id=3)
+    back, data = roundtrip(m)
+    assert "fields" not in data
+    assert back._fields is None
+    assert back.fields == {}  # materializes empty on first read
+
+
+def test_checkpoint_data_message_roundtrip():
+    m = CheckpointDataMessage(src_pid=6, dst_pid=None, msg_id=17, checkpoint_ref="c6")
+    back, data = roundtrip(m)
+    assert_base_fields_equal(m, back)
+    assert back.checkpoint_ref == "c6"
+    assert back.on_stored is None
+
+
+def test_broadcast_flag_roundtrip():
+    m = SystemMessage(
+        src_pid=0, dst_pid=None, subkind="commit", broadcast=True, msg_id=21
+    )
+    back, _ = roundtrip(m)
+    assert back.broadcast is True
+    assert back.dst_pid is None
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown message kind"):
+        message_from_dict({"kind": "carrier-pigeon", "src_pid": 0, "dst_pid": 1})
+
+
+def test_slots_reject_stray_attributes():
+    """__slots__ actually holds: no per-instance dict to leak into."""
+    m = ComputationMessage(src_pid=0, dst_pid=1, msg_id=1)
+    with pytest.raises(AttributeError):
+        m.totally_new_attribute = 1
