@@ -15,6 +15,7 @@ store are skipped, which is the resume path after a crash or Ctrl-C.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 import time
@@ -64,8 +65,16 @@ def run_point(
     return runner.run(max_events=point.max_events)
 
 
+#: event-count period used when snapshotting is on but no period given
+DEFAULT_SNAPSHOT_EVERY = 2000
+
+
 def execute_point(
-    payload: Dict[str, Any], trace_dir: Optional[str] = None
+    payload: Dict[str, Any],
+    trace_dir: Optional[str] = None,
+    snapshot_dir: Optional[str] = None,
+    snapshot_every: Optional[int] = None,
+    snapshot_keep: Optional[int] = 2,
 ) -> Dict[str, Any]:
     """Worker entry point: run one point dict, never raise.
 
@@ -79,18 +88,64 @@ def execute_point(
     ``<trace_dir>/<point_hash>.jsonl`` (the record's ``meta`` carries the
     path). The trace file is a side output: the record itself is
     identical either way, so cached and traced runs stay comparable.
+
+    With ``snapshot_dir`` set, the run snapshots itself every
+    ``snapshot_every`` events into ``<snapshot_dir>/<point_hash>/``, and
+    — the crash-resume path — a point whose directory already holds a
+    snapshot *continues from it* instead of starting over. Resume is
+    exact (the simulation is deterministic and snapshots capture it
+    whole), so an interrupted-and-resumed point's result is
+    bit-identical to an uninterrupted one and the record's ``meta``
+    (``snapshot_dir``, ``resumed_from``) is the only visible difference.
     """
     started = time.perf_counter()
     point_dict = dict(payload)
     point_hash = spec_hash(point_dict)
     try:
         point = RunPoint.from_dict(point_dict)
-        system, _, runner = build_point_runtime(point)
-        if trace_dir is not None:
-            # The trace level is fixed at build time, so raise it on the
-            # live log (mutating config after build would not stick).
-            system.sim.trace.set_level(TraceLevel.DEBUG)
-        result = runner.run(max_events=point.max_events)
+        meta: Dict[str, Any] = {}
+        point_snap_dir = None
+        resume_from = None
+        if snapshot_dir is not None:
+            from repro.snapshot import SnapshotStore
+
+            point_snap_dir = os.path.join(snapshot_dir, point_hash)
+            resume_from = SnapshotStore(point_snap_dir).latest()
+        if resume_from is not None:
+            from repro.snapshot import resume_run
+
+            image = resume_run(resume_from.path)
+            system, runner = image.system, image.runner
+            if trace_dir is not None:
+                system.sim.trace.set_level(TraceLevel.DEBUG)
+            meta["resumed_from"] = resume_from.path
+            result = runner.resume(max_events=point.max_events)
+            snapshotter = image.snapshotter
+        else:
+            system, _, runner = build_point_runtime(point)
+            if trace_dir is not None:
+                # The trace level is fixed at build time, so raise it on
+                # the live log (mutating config after build won't stick).
+                system.sim.trace.set_level(TraceLevel.DEBUG)
+            snapshotter = None
+            if point_snap_dir is not None:
+                from repro.snapshot import SnapshotPolicy, Snapshotter
+
+                snapshotter = Snapshotter(
+                    runner,
+                    SnapshotPolicy(
+                        every_events=snapshot_every or DEFAULT_SNAPSHOT_EVERY,
+                        keep=snapshot_keep,
+                    ),
+                    point_snap_dir,
+                    label=point_hash,
+                )
+                snapshotter.install()
+            result = runner.run(max_events=point.max_events)
+        if point_snap_dir is not None:
+            meta["snapshot_dir"] = point_snap_dir
+            if snapshotter is not None and snapshotter.taken:
+                meta["snapshots"] = list(snapshotter.taken)
         record = {
             "point_hash": point_hash,
             "status": "ok",
@@ -104,7 +159,9 @@ def execute_point(
             os.makedirs(trace_dir, exist_ok=True)
             path = os.path.join(trace_dir, f"{point_hash}.jsonl")
             count = save_trace(system.sim.trace, path)
-            record["meta"] = {"trace_path": path, "trace_records": count}
+            meta.update({"trace_path": path, "trace_records": count})
+        if meta:
+            record["meta"] = meta
         return record
     except Exception as exc:  # noqa: BLE001 — failures become records
         return {
@@ -205,6 +262,8 @@ class CampaignEngine:
         progress: Optional[ProgressReporter] = None,
         quiet: bool = True,
         executor: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+        snapshot_dir: Optional[str] = None,
+        snapshot_every: Optional[int] = None,
     ) -> None:
         if isinstance(spec, CampaignSpec):
             self.name = spec.name
@@ -219,7 +278,21 @@ class CampaignEngine:
         # A payload -> record callable; must pickle for worker pools
         # (module-level function or functools.partial of one). This is
         # how repro.explore reuses the engine with its own run shape.
-        self.executor = executor if executor is not None else execute_point
+        if executor is None:
+            if snapshot_dir is not None:
+                # Crash-safe campaigns: points snapshot while running and
+                # in-progress points found on disk resume mid-run instead
+                # of restarting (completed points are skipped as before).
+                executor = functools.partial(
+                    execute_point,
+                    snapshot_dir=snapshot_dir,
+                    snapshot_every=snapshot_every,
+                )
+            else:
+                executor = execute_point
+        elif snapshot_dir is not None:
+            raise ValueError("snapshot_dir requires the default executor")
+        self.executor = executor
         self.progress = progress or ProgressReporter(
             total=len(self.points), workers=workers, enabled=not quiet
         )

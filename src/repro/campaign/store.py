@@ -146,3 +146,19 @@ class ResultStore:
 
     def failed_records(self) -> List[PointRecord]:
         return [r for r in self._records.values() if not r.ok]
+
+    def snapshot_paths(self) -> Dict[str, List[str]]:
+        """Snapshot files recorded per point, keyed by point hash.
+
+        Populated by snapshot-enabled campaigns (the executor stamps
+        ``meta["snapshots"]``); points run without snapshotting are
+        absent. The crash-resume path does not need this index — workers
+        look in ``<snapshot_dir>/<point_hash>/`` directly — but reports
+        and cleanup tooling do.
+        """
+        paths: Dict[str, List[str]] = {}
+        for point_hash, record in self._records.items():
+            snapshots = (record.meta or {}).get("snapshots")
+            if snapshots:
+                paths[point_hash] = list(snapshots)
+        return paths

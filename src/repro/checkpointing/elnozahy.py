@@ -21,7 +21,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Set
 
-from repro.checkpointing.protocol import CheckpointProtocol, ProcessEnv, ProtocolProcess
+from functools import partial
+
+from repro.checkpointing.protocol import (
+    CheckpointProtocol,
+    ProcessEnv,
+    ProtocolProcess,
+    noop,
+)
 from repro.checkpointing.types import CheckpointKind, CheckpointRecord, Trigger
 from repro.errors import ProtocolError
 from repro.net.message import ComputationMessage, SystemMessage
@@ -88,16 +95,15 @@ class ElnozahyProcess(ProtocolProcess):
         if self.pid == self.protocol.coordinator:
             self.env.transfer_to_stable(record, self._on_coordinator_saved)
         elif notify:
-            self.env.transfer_to_stable(
-                record,
-                lambda: self.env.send_system(
-                    self.protocol.coordinator,
-                    "reply",
-                    {"csn": csn, "from_pid": self.pid},
-                ),
-            )
+            self.env.transfer_to_stable(record, partial(self._reply_saved, csn))
         else:
-            self.env.transfer_to_stable(record, lambda: None)
+            self.env.transfer_to_stable(record, noop)
+
+    def _reply_saved(self, csn: int) -> None:
+        """Tell the coordinator our csn-th checkpoint reached stable store."""
+        self.env.send_system(
+            self.protocol.coordinator, "reply", {"csn": csn, "from_pid": self.pid}
+        )
 
     def _on_coordinator_saved(self) -> None:
         self._own_save_done = True

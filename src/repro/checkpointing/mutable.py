@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import partial
 from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.checkpointing.protocol import CheckpointProtocol, ProcessEnv, ProtocolProcess
@@ -57,6 +58,9 @@ def _noop() -> None:
 
 class MutableCheckpointProcess(ProtocolProcess):
     """Per-process state machine of the §3.3 algorithm."""
+
+    # the delivery queue holds live runtime thunks, not algorithm state
+    _state_dict_exclude = frozenset({"_delivery_queue"})
 
     def __init__(self, env: ProcessEnv, protocol: "MutableCheckpointProtocol") -> None:
         super().__init__(env)
@@ -313,7 +317,7 @@ class MutableCheckpointProcess(ProtocolProcess):
                 from_pid=from_pid,
             )
             self._save_stable_and_then(
-                record, lambda: self._send_reply(msg_trigger, remaining)
+                record, partial(self._send_reply, msg_trigger, remaining)
             )
 
     def _promote_mutable(
@@ -350,7 +354,7 @@ class MutableCheckpointProcess(ProtocolProcess):
             from_pid=from_pid,
         )
         self._save_stable_and_then(
-            record, lambda: self._send_reply(msg_trigger, remaining)
+            record, partial(self._send_reply, msg_trigger, remaining)
         )
 
     def _register_tentative(

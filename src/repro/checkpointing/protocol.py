@@ -33,11 +33,25 @@ metrics layers):
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.checkpointing.types import CheckpointKind, CheckpointRecord, Trigger
 from repro.net.message import ComputationMessage, SystemMessage
+
+
+def noop() -> None:
+    """Do nothing.
+
+    The picklable stand-in for ``lambda: None`` completion callbacks:
+    module-level functions pickle by reference, so protocols that park a
+    no-op on an in-flight message or the event heap stay snapshottable.
+    """
+
+
+#: wiring attributes every process excludes from ``state_dict()``
+_STATE_DICT_WIRING: FrozenSet[str] = frozenset({"env", "protocol", "pid", "n"})
 
 
 class ProcessEnv(ABC):
@@ -128,10 +142,39 @@ class ProcessEnv(ABC):
 class ProtocolProcess(ABC):
     """Per-process half of a checkpointing algorithm."""
 
+    #: extra attribute names a subclass excludes from ``state_dict()``
+    #: (e.g. queues of live callables that belong to the runtime, not
+    #: the algorithm)
+    _state_dict_exclude: FrozenSet[str] = frozenset()
+
     def __init__(self, env: ProcessEnv) -> None:
         self.env = env
         self.pid = env.pid
         self.n = env.n
+
+    # -- algorithm-state capture (snapshot inspection + tests) ---------------
+    def state_dict(self) -> Dict[str, Any]:
+        """The algorithm's per-process state as a plain, detached dict.
+
+        Every instance attribute except the wiring (``env``,
+        ``protocol``, ``pid``, ``n``) and the subclass's
+        ``_state_dict_exclude`` set, deep-copied so callers can inspect
+        or stash it without aliasing live protocol state. This is the
+        introspectable counterpart of whole-graph snapshot pickling —
+        ``repro-sim snapshots --show`` renders it, and the round-trip
+        tests diff it across snapshot/resume.
+        """
+        skip = _STATE_DICT_WIRING | self._state_dict_exclude
+        return {
+            key: copy.deepcopy(value)
+            for key, value in sorted(vars(self).items())
+            if key not in skip
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore attributes previously captured by :meth:`state_dict`."""
+        for key, value in state.items():
+            setattr(self, key, copy.deepcopy(value))
 
     @abstractmethod
     def on_send_computation(self, message: ComputationMessage) -> None:
@@ -202,6 +245,26 @@ class CheckpointProtocol(ABC):
         process = self._build_process(env)
         self.processes[env.pid] = process
         return process
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Protocol-wide algorithm state: one entry per process."""
+        return {
+            "name": self.name,
+            "processes": {
+                pid: process.state_dict()
+                for pid, process in sorted(self.processes.items())
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore every process's state from :meth:`state_dict` output."""
+        if state.get("name") != self.name:
+            raise ValueError(
+                f"state_dict is for protocol {state.get('name')!r}, "
+                f"not {self.name!r}"
+            )
+        for pid, process_state in state["processes"].items():
+            self.processes[pid].load_state_dict(process_state)
 
     def add_commit_listener(self, fn: Callable[[Trigger], None]) -> None:
         """Observe committed initiations (used by the runner)."""

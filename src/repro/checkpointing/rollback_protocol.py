@@ -26,6 +26,7 @@ caller aborts it first (see :meth:`DistributedRecovery.recover`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.analysis.consistency import latest_permanent_line
@@ -65,14 +66,16 @@ class DistributedRecovery:
         self.rounds: List[RecoveryRound] = []
         self._active: Optional[RecoveryRound] = None
         for process in system.processes.values():
+            # partials (not closures) so the handler table — which lives
+            # for the run inside each process — survives snapshot pickling
             process.register_system_handler(
-                "rollback_request", self._make_request_handler(process)
+                "rollback_request", partial(self._on_rollback_request, process)
             )
             process.register_system_handler(
                 "rollback_ack", self._on_ack
             )
             process.register_system_handler(
-                "resume", self._make_resume_handler(process)
+                "resume", partial(self._on_resume, process)
             )
 
     @property
@@ -150,19 +153,17 @@ class DistributedRecovery:
             incarnation=incarnation,
         )
 
-    def _make_request_handler(self, process):
-        def handler(message: SystemMessage) -> None:
-            fields = message.fields
-            if fields["incarnation"] <= process.incarnation:
-                return  # duplicate / stale request
-            self._roll_back_locally(process, fields["incarnation"])
-            self._send(
-                process.pid,
-                fields["initiator"],
-                "rollback_ack",
-                {"incarnation": fields["incarnation"], "from_pid": process.pid},
-            )
-        return handler
+    def _on_rollback_request(self, process, message: SystemMessage) -> None:
+        fields = message.fields
+        if fields["incarnation"] <= process.incarnation:
+            return  # duplicate / stale request
+        self._roll_back_locally(process, fields["incarnation"])
+        self._send(
+            process.pid,
+            fields["initiator"],
+            "rollback_ack",
+            {"incarnation": fields["incarnation"], "from_pid": process.pid},
+        )
 
     def _on_ack(self, message: SystemMessage) -> None:
         round_ = self._active
@@ -189,8 +190,6 @@ class DistributedRecovery:
             duration=round_.duration,
         )
 
-    def _make_resume_handler(self, process):
-        def handler(message: SystemMessage) -> None:
-            if message.fields["incarnation"] == process.incarnation:
-                process.unblock()
-        return handler
+    def _on_resume(self, process, message: SystemMessage) -> None:
+        if message.fields["incarnation"] == process.incarnation:
+            process.unblock()

@@ -27,6 +27,7 @@ is inherited unchanged from the mutable algorithm.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 from repro.checkpointing.mutable import MutableCheckpointProcess, MutableCheckpointProtocol
@@ -81,14 +82,7 @@ class CsnSchemeProcess(MutableCheckpointProcess):
             induced=True,
         )
 
-        def finish() -> None:
-            self.env.make_permanent(record)
-            self.env.trace(
-                "permanent", pid=self.pid, trigger=None, ckpt_id=record.ckpt_id,
-                induced=True,
-            )
-
-        self._save_stable_and_then(record, finish)
+        self._save_stable_and_then(record, partial(self._finish_induced, record))
         for k in deps:
             self.env.send_system(
                 k,
@@ -99,6 +93,13 @@ class CsnSchemeProcess(MutableCheckpointProcess):
                     "from_pid": self.pid,
                 },
             )
+
+    def _finish_induced(self, record) -> None:
+        self.env.make_permanent(record)
+        self.env.trace(
+            "permanent", pid=self.pid, trigger=None, ckpt_id=record.ckpt_id,
+            induced=True,
+        )
 
     def _on_induce(self, message) -> None:
         fields = message.fields

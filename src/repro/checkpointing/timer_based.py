@@ -21,7 +21,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.checkpointing.protocol import CheckpointProtocol, ProcessEnv, ProtocolProcess
+from functools import partial
+
+from repro.checkpointing.protocol import (
+    CheckpointProtocol,
+    ProcessEnv,
+    ProtocolProcess,
+    noop,
+)
 from repro.checkpointing.types import CheckpointKind, CheckpointRecord, Trigger
 from repro.errors import ProtocolError
 from repro.net.message import ComputationMessage, SystemMessage
@@ -59,7 +66,7 @@ class TimerBasedProcess(ProtocolProcess):
     def schedule_round(self, round_index: int, fire_at: float) -> None:
         """Arm round ``round_index`` at global time (plus local skew)."""
         local_fire = max(fire_at + self.skew - self.env.now(), 0.0)
-        self.env.schedule(local_fire, lambda: self._take_round(round_index))
+        self.env.schedule(local_fire, partial(self._take_round, round_index))
 
     def _take_round(self, round_index: int) -> None:
         self.round = round_index
@@ -76,10 +83,10 @@ class TimerBasedProcess(ProtocolProcess):
             csn=round_index,
             ckpt_id=record.ckpt_id,
         )
-        self.env.transfer_to_stable(record, lambda: None)
+        self.env.transfer_to_stable(record, noop)
         # The §6 wait: cover every other clock plus failure detection.
         wait = 2.0 * self.protocol.max_skew + self.protocol.detection_time
-        self.env.schedule(wait, lambda: self._finish_round(trigger))
+        self.env.schedule(wait, partial(self._finish_round, trigger))
 
     def _finish_round(self, trigger: Trigger) -> None:
         record = self._pending

@@ -53,6 +53,23 @@ def reset_checkpoint_ids() -> None:
     _checkpoint_ids = count()
 
 
+def checkpoint_ids_state() -> int:
+    """The next ckpt_id the counter will hand out (without consuming it).
+
+    Snapshot capture records this so a restored run continues the id
+    sequence exactly where the original left off — the counter is a
+    module global, outside the pickled object graph.
+    """
+    # itertools.count exposes its next value via its pickle form
+    return _checkpoint_ids.__reduce__()[1][0]
+
+
+def restore_checkpoint_ids(next_id: int) -> None:
+    """Reset the counter so the next ckpt_id handed out is ``next_id``."""
+    global _checkpoint_ids
+    _checkpoint_ids = count(next_id)
+
+
 @dataclass
 class CheckpointRecord:
     """One saved checkpoint of one process.

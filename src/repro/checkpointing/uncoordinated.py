@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from functools import partial
+
 from repro.checkpointing.protocol import CheckpointProtocol, ProcessEnv, ProtocolProcess
 from repro.checkpointing.types import CheckpointKind, Trigger
 from repro.errors import ProtocolError
@@ -74,17 +76,17 @@ class UncoordinatedProcess(ProtocolProcess):
             reason=reason,
         )
 
-        def finish() -> None:
-            self.env.make_permanent(record)
-            self.env.trace(
-                "permanent",
-                pid=self.pid,
-                trigger=None,
-                ckpt_id=record.ckpt_id,
-                uncoordinated=True,
-            )
+        self.env.transfer_to_stable(record, partial(self._finish_checkpoint, record))
 
-        self.env.transfer_to_stable(record, finish)
+    def _finish_checkpoint(self, record) -> None:
+        self.env.make_permanent(record)
+        self.env.trace(
+            "permanent",
+            pid=self.pid,
+            trigger=None,
+            ckpt_id=record.ckpt_id,
+            uncoordinated=True,
+        )
 
     def on_system_message(self, message: SystemMessage) -> None:
         raise ProtocolError(

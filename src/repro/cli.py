@@ -12,6 +12,7 @@ Subcommands::
     repro-sim explore --seeds 100 ...      adversarial schedule fuzzing
     repro-sim profile ...                  kernel profile of one run
     repro-sim inspect trace.jsonl ...      causal wave forensics on a trace
+    repro-sim snapshots snaps/ ...         inspect simulator snapshots
 """
 
 from __future__ import annotations
@@ -70,6 +71,20 @@ def _build_parser() -> argparse.ArgumentParser:
                      "recent N DEBUG records in memory (implies message "
                      "tracing; --export-trace still archives every record "
                      "via the streaming sink)")
+    run.add_argument("--snapshot-every", type=int, metavar="N", default=None,
+                     help="snapshot the whole simulation every N events")
+    run.add_argument("--snapshot-interval", type=float, metavar="S",
+                     default=None,
+                     help="snapshot every S simulated seconds")
+    run.add_argument("--snapshot-dir", metavar="DIR", default="snapshots",
+                     help="where .rsnap files go (default: snapshots/)")
+    run.add_argument("--snapshot-keep", type=int, metavar="K", default=None,
+                     help="keep only the newest K snapshots (default: all)")
+    run.add_argument("--resume-from", metavar="PATH", default=None,
+                     help="resume from a .rsnap file (or the latest one in "
+                     "a directory) instead of starting fresh; the snapshot "
+                     "carries the full configuration, so the other run "
+                     "flags are ignored")
 
     sub.add_parser("figures", help="reproduce the paper's Figs. 1-4")
     sub.add_parser("table1", help="run the three-way Table 1 comparison")
@@ -112,6 +127,14 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--trace-out", metavar="DIR",
                           help="save every executed point's full trace as "
                           "DIR/<point_hash>.jsonl")
+    campaign.add_argument("--snapshot-dir", metavar="DIR",
+                          help="periodically snapshot in-progress points "
+                          "under DIR/<point_hash>/; a killed campaign "
+                          "resumes them mid-run instead of restarting")
+    campaign.add_argument("--snapshot-every", type=int, metavar="N",
+                          default=None,
+                          help="events between point snapshots "
+                          "(default: 2000; needs --snapshot-dir)")
 
     explore = sub.add_parser(
         "explore",
@@ -188,6 +211,21 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="emit a Graphviz digraph (needs --wave)")
     fmt.add_argument("--json", dest="as_json", action="store_true",
                      help="emit the full report as JSON")
+
+    snapshots = sub.add_parser(
+        "snapshots",
+        help="inspect simulator snapshots: list a directory, show one "
+        "snapshot's header and protocol state, verify integrity",
+    )
+    snapshots.add_argument("target",
+                           help="a .rsnap file or a directory of them")
+    snapshots.add_argument("--show", action="store_true",
+                           help="also print each snapshot's full header "
+                           "and, for a single file, the per-process "
+                           "protocol state")
+    snapshots.add_argument("--verify", action="store_true",
+                           help="read each payload, check its hash, and "
+                           "test that it restores to a live simulation")
     return parser
 
 
@@ -303,13 +341,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     store_path = None if args.no_store else (
         args.store or f"campaign-{spec.name}.jsonl"
     )
+    if args.snapshot_every is not None and not args.snapshot_dir:
+        print("error: --snapshot-every needs --snapshot-dir", file=sys.stderr)
+        return 2
     executor = None
-    if args.trace_out:
+    if args.trace_out or args.snapshot_dir:
         import functools
 
         from repro.campaign.engine import execute_point
 
-        executor = functools.partial(execute_point, trace_dir=args.trace_out)
+        executor = functools.partial(
+            execute_point,
+            trace_dir=args.trace_out,
+            snapshot_dir=args.snapshot_dir,
+            snapshot_every=args.snapshot_every,
+        )
     with ResultStore(store_path) as store:
         engine = CampaignEngine(
             spec, store=store, workers=args.workers, quiet=args.quiet,
@@ -347,7 +393,55 @@ def _cmd_protocols() -> int:
     return 0
 
 
+def _cmd_run_resume(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.errors import SnapshotError
+    from repro.snapshot import SnapshotStore, read_meta, resume_run
+
+    path = args.resume_from
+    if os.path.isdir(path):
+        latest = SnapshotStore(path).latest()
+        if latest is None:
+            print(f"error: no snapshots in {path}", file=sys.stderr)
+            return 2
+        path = latest.path
+    try:
+        meta = read_meta(path)
+        image = resume_run(path)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"resumed from            : {path} "
+        f"(event {meta.events_processed}, t={meta.sim_time:.1f}s)"
+    )
+    result = image.runner.resume()
+    system = image.system
+    print(f"protocol                : {result.protocol}")
+    print(f"initiations (measured)  : {result.n_initiations}")
+    print(f"tentative / initiation  : {result.tentative_summary()}")
+    print(f"redundant mutable       : {result.redundant_mutable_summary()}")
+    print(f"checkpointing time      : {result.duration_summary()} s")
+    print(f"blocked process-seconds : {result.total_blocked_time:.1f}")
+    print(f"system messages         : {result.counters.get('system_messages', 0):.0f}")
+    if image.snapshotter is not None and image.snapshotter.taken:
+        print(f"snapshots written       : {len(image.snapshotter.taken)}")
+    if args.verify:
+        line = latest_permanent_line(system.all_stable_storages(), system.processes)
+        assert_line_consistent(system.sim.trace, line)
+        print("recovery line           : consistent")
+    if args.export_trace:
+        from repro.sim.export import save_trace
+
+        count = save_trace(system.sim.trace, args.export_trace)
+        print(f"trace exported          : {count} records -> {args.export_trace}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.resume_from:
+        return _cmd_run_resume(args)
     config = SystemConfig(
         n_processes=args.processes,
         seed=args.seed,
@@ -382,6 +476,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     runner = ExperimentRunner(
         system, workload, RunConfig(max_initiations=args.initiations)
     )
+    snapshotter = None
+    if args.snapshot_every is not None or args.snapshot_interval is not None:
+        from repro.snapshot import SnapshotPolicy, Snapshotter
+
+        snapshotter = Snapshotter(
+            runner,
+            SnapshotPolicy(
+                every_events=args.snapshot_every,
+                every_sim_seconds=args.snapshot_interval,
+                keep=args.snapshot_keep,
+            ),
+            args.snapshot_dir,
+        )
+        snapshotter.install()
     result = runner.run()
     print(f"protocol                : {result.protocol}")
     print(f"initiations (measured)  : {result.n_initiations}")
@@ -412,6 +520,86 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         count = save_trace(system.sim.trace, args.export_trace)
         print(f"trace exported          : {count} records -> {args.export_trace}")
+    if snapshotter is not None:
+        print(
+            f"snapshots written       : {len(snapshotter.taken)} "
+            f"-> {args.snapshot_dir}/"
+        )
+    return 0
+
+
+def _cmd_snapshots(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.errors import SnapshotError
+    from repro.snapshot import (
+        SnapshotStore,
+        read_meta,
+        read_snapshot,
+        restore,
+    )
+
+    def verify(path: str) -> str:
+        try:
+            _, payload = read_snapshot(path)  # magic/version/sha256 checks
+            restore(payload)
+        except SnapshotError as exc:
+            return f"BAD ({exc})"
+        return "ok (payload hash verified, restores)"
+
+    if os.path.isdir(args.target):
+        infos = SnapshotStore(args.target).list()
+        if not infos:
+            print(f"no snapshots in {args.target}")
+            return 1
+        for info in infos:
+            meta = info.meta
+            line = (
+                f"{os.path.basename(info.path):32s} seq={meta.seq:<4d} "
+                f"ev={meta.events_processed:<9d} t={meta.sim_time:<10.2f} "
+                f"{meta.protocol} n={meta.n_processes} seed={meta.seed} "
+                f"[{meta.reason}]"
+            )
+            if args.verify:
+                line += f"  {verify(info.path)}"
+            print(line)
+            if args.show:
+                print(json.dumps(meta.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    try:
+        meta = read_meta(args.target)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(meta.to_dict(), indent=2, sort_keys=True))
+    if args.verify:
+        print(f"integrity: {verify(args.target)}")
+    if args.show:
+        _, payload = read_snapshot(args.target)
+        image = restore(payload)
+        sim = image.system.sim
+        print(
+            f"kernel: t={sim.now:.4f} events={sim.events_processed} "
+            f"pending={sim.pending_events}"
+        )
+        def jsonable(value):
+            # state_dict values are arbitrary protocol state (records,
+            # Trigger keys, frozensets) — render anything json can't.
+            if isinstance(value, dict):
+                return {
+                    k if isinstance(k, str) else repr(k): jsonable(v)
+                    for k, v in value.items()
+                }
+            if isinstance(value, (list, tuple, set, frozenset)):
+                return [jsonable(v) for v in value]
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                return value
+            return repr(value)
+
+        state = jsonable(image.system.protocol.state_dict())
+        print(json.dumps(state, indent=2, sort_keys=True))
     return 0
 
 
@@ -539,6 +727,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
+    if args.command == "snapshots":
+        return _cmd_snapshots(args)
     if args.command == "report":
         from repro.reporting import ReportScale, write_report
 

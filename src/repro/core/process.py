@@ -29,6 +29,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.system import MobileSystem
 
 
+class _DeliverCall:
+    """Zero-arg deliver thunk handed to the protocol with each message.
+
+    Blocking protocols (e.g. mutable checkpointing) retain the thunk in
+    their delivery queues across events, so it must survive snapshot
+    pickling — a plain slotted class does, a per-message lambda would
+    not.
+    """
+
+    __slots__ = ("process", "message")
+
+    def __init__(self, process: "AppProcess", message: ComputationMessage) -> None:
+        self.process = process
+        self.message = message
+
+    def __call__(self) -> None:
+        self.process._deliver(self.message)
+
+
 class AppProcess:
     """One application process with its protocol instance and state."""
 
@@ -124,7 +143,7 @@ class AppProcess:
                 self._deferred_receives.append(message)
                 return
             self.protocol_process.on_receive_computation(
-                message, lambda m=message: self._deliver(m)
+                message, _DeliverCall(self, message)
             )
         else:
             raise ProtocolError(
@@ -174,7 +193,7 @@ class AppProcess:
         receives, self._deferred_receives = self._deferred_receives, []
         for message in receives:
             self.protocol_process.on_receive_computation(
-                message, lambda m=message: self._deliver(m)
+                message, _DeliverCall(self, message)
             )
         sends, self._deferred_sends = self._deferred_sends, []
         for dst_pid, payload in sends:
@@ -194,6 +213,18 @@ class AppProcess:
         """Drop buffered activity (a rollback invalidates it)."""
         self._deferred_sends.clear()
         self._deferred_receives.clear()
+
+    # -- snapshot (pickle) support ---------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        # Bound method-wrapper on the shared itertools.count — not
+        # picklable; _reattach() rebinds it after a snapshot restore.
+        state.pop("_next_msg_id", None)
+        return state
+
+    def _reattach(self) -> None:
+        """Rebind hot-path handles dropped by :meth:`__getstate__`."""
+        self._next_msg_id = self.system.message_ids.__next__
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<AppProcess p{self.pid} on {self.host.name}>"
@@ -321,3 +352,13 @@ class RuntimeEnv(ProcessEnv):
     @property
     def mutable_save_time(self) -> float:
         return self.system.config.network.mutable_save_time
+
+    # -- snapshot (pickle) support ---------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state.pop("_next_msg_id", None)
+        return state
+
+    def _reattach(self) -> None:
+        """Rebind hot-path handles dropped by :meth:`__getstate__`."""
+        self._next_msg_id = self.system.message_ids.__next__

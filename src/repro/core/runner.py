@@ -168,9 +168,32 @@ class ExperimentRunner:
     # -- main loop ---------------------------------------------------------------
     def run(self, max_events: Optional[int] = None) -> RunResult:
         """Run to completion and return the collected results."""
-        sim = self.system.sim
         self.workload.start()
         self._schedule_first_initiations()
+        return self._drive(max_events)
+
+    def resume(self, max_events: Optional[int] = None) -> RunResult:
+        """Continue a snapshot-restored run to completion.
+
+        The workload's pending sends and the initiation timers are
+        already live inside the restored event heap, so this re-enters
+        the drive loop directly — no restart, no re-staggering. Dispatch
+        order is fully determined by the heap keys, so a resumed run
+        retraces the uninterrupted run event for event.
+        """
+        return self._drive(max_events)
+
+    def _reattach(self) -> None:
+        """Re-subscribe the trace hook after a snapshot restore.
+
+        Trace subscribers are dropped at pickling time (they are live
+        callbacks); the restore path calls this to re-establish the §5.1
+        reschedule-on-early-checkpoint behaviour.
+        """
+        self.system.sim.trace.subscribe(self._on_trace)
+
+    def _drive(self, max_events: Optional[int]) -> RunResult:
+        sim = self.system.sim
         limit = self.run_config.time_limit
         if limit is None:
             # Hot path: hand the whole run to the kernel's fused loop;

@@ -50,3 +50,7 @@ class ConfigurationError(ReproError):
 
 class StorageError(ReproError):
     """A checkpoint storage operation failed."""
+
+
+class SnapshotError(ReproError):
+    """A simulator snapshot could not be written, read, or restored."""

@@ -15,9 +15,12 @@ harness for the checkpointing protocols:
 * :mod:`repro.explore.mutations` — deliberately broken protocol
   variants for end-to-end self-tests of the explorer;
 * :mod:`repro.explore.fuzz` — batch fan-out over the campaign engine;
-* :mod:`repro.explore.shrink` — ddmin counterexample minimization.
+* :mod:`repro.explore.shrink` — ddmin counterexample minimization;
+* :mod:`repro.explore.fork` — fork-from-snapshot: replay only the tail
+  of a violating run from its nearest in-memory simulator snapshot.
 """
 
+from repro.explore.fork import fork_from_counterexample, fork_meta
 from repro.explore.fuzz import (
     EXPLORE_PRESETS,
     ExploreReport,
@@ -62,6 +65,8 @@ from repro.explore.shrink import (
 )
 
 __all__ = [
+    "fork_from_counterexample",
+    "fork_meta",
     "EXPLORE_PRESETS",
     "ExploreReport",
     "ExploreSpec",

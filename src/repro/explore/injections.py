@@ -32,7 +32,6 @@ failed, already disconnected, …); a suppressed action is traced as
 
 from __future__ import annotations
 
-import random
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from repro.checkpointing.disconnect_support import (
@@ -43,6 +42,7 @@ from repro.checkpointing.failures import FailureInjector, FailurePolicy
 from repro.checkpointing.rollback_protocol import DistributedRecovery
 from repro.errors import ConfigurationError
 from repro.net.mh import MobileHost
+from repro.sim.rng import raw_rng
 from repro.net.mobility import handoff
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -86,7 +86,7 @@ def draw_injections(
             )
     if n_mss < 2:
         grid = [k for k in grid if k != "handoff"]
-    rng = random.Random(seed)
+    rng = raw_rng(seed)
     injections: List[Dict[str, Any]] = []
     if not grid:
         return injections
@@ -175,6 +175,16 @@ class InjectionDriver:
                 raise ConfigurationError(f"unknown injection kind {kind!r}")
         if self._fail_pending:
             sim.trace.subscribe(self._on_trace)
+
+    def _reattach(self) -> None:
+        """Re-subscribe the trace tap after a snapshot restore.
+
+        Mirrors the tail of :meth:`install`: the subscription exists
+        only while fail injections are still waiting for their trigger
+        initiation, and subscribers are dropped at pickling time.
+        """
+        if self._fail_pending:
+            self.system.sim.trace.subscribe(self._on_trace)
 
     # -- bookkeeping -----------------------------------------------------
     def _fire(self, injection: Dict[str, Any], **extra: Any) -> None:

@@ -22,12 +22,12 @@ can reorder a channel's deliveries.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.kernel import SchedulePolicy
+from repro.sim.rng import raw_rng
 
 #: a recorded perturbation: schedule-call index -> (extra delay, priority)
 Decisions = Dict[int, Tuple[float, int]]
@@ -81,7 +81,9 @@ class RecordingPolicy(SchedulePolicy):
         self.seed = seed
         self.config = config or PerturbationConfig()
         self.decisions: Decisions = {}
-        self._rng = random.Random(seed)
+        # raw_rng keeps random.Random(seed) semantics: recorded decision
+        # sequences from before the RNG audit replay unchanged
+        self._rng = raw_rng(seed)
         self._calls = 0
 
     @property

@@ -182,12 +182,47 @@ def _message_alloc_case() -> MicroBenchCase:
     )
 
 
+def _snapshot_overhead_case() -> BenchCase:
+    """The 16p trace-off run with in-memory snapshots every 1000 events.
+
+    Pairs with ``mutable_16p_trace_off`` (identical run, snapshotting
+    disabled): their rate ratio is the whole-state capture cost, and the
+    25% :func:`compare` gate keeps both the hooked loop and the pickle
+    path honest.
+    """
+
+    def build() -> Tuple[MobileSystem, ExperimentRunner]:
+        from repro.snapshot import SnapshotPolicy, Snapshotter
+
+        config = SystemConfig(n_processes=16, seed=7, trace_messages=False)
+        system = MobileSystem(config, MutableCheckpointProtocol())
+        workload = PointToPointWorkload(
+            system, PointToPointWorkloadConfig(mean_send_interval=1.0)
+        )
+        runner = ExperimentRunner(
+            system, workload, RunConfig(max_initiations=12)
+        )
+        snapshotter = Snapshotter(runner, SnapshotPolicy(every_events=1000))
+        snapshotter.install()
+        return system, runner
+
+    return BenchCase(
+        name="snapshot_overhead",
+        build=build,
+        description=(
+            "16-process trace-off run snapshotting whole state in memory "
+            "every 1000 events"
+        ),
+    )
+
+
 def default_cases() -> List[Any]:
     """The standing kernel benchmark suite.
 
     The trace-on/trace-off pair measures the leveled-tracing fast path:
     identical runs except for the trace level, so their rate ratio is
-    the hot-path cost of message tracing.
+    the hot-path cost of message tracing. ``snapshot_overhead`` re-runs
+    the trace-off case with every-1000-events in-memory snapshots.
     """
     return [
         _experiment_case(
@@ -215,6 +250,7 @@ def default_cases() -> List[Any]:
             max_initiations=8,
         ),
         _message_alloc_case(),
+        _snapshot_overhead_case(),
     ]
 
 

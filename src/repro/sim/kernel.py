@@ -124,6 +124,9 @@ class Simulator:
         self._policy = policy
         self._profiler: Optional["KernelProfiler"] = None
         self._burn: Optional[Callable[[], None]] = None
+        self._snap_hook: Optional[Callable[[], None]] = None
+        self._snap_every = 0
+        self._snap_countdown = 0
         self._stream_floors: Dict[Hashable, Tuple[float, int]] = {}
         self._free: List[Event] = []
         self._cancelled_pending = 0
@@ -209,6 +212,47 @@ class Simulator:
         the bench harness to plant an artificial slowdown.
         """
         self._burn = burn
+
+    def set_snapshot_hook(
+        self, hook: Optional[Callable[[], None]], check_every: int = 1
+    ) -> None:
+        """Install (or clear) the between-events snapshot hook.
+
+        While set, ``hook()`` is invoked every ``check_every`` dispatched
+        events, *between* event callbacks — never re-entrantly inside
+        one — so the kernel is always at a consistent point when the
+        hook observes it. The hook must not schedule events or mutate
+        kernel state; :class:`repro.snapshot.Snapshotter` uses it to
+        evaluate trigger conditions and serialize the simulation.
+
+        Runs without a hook use the fused fast loop untouched (the
+        branch is taken once per :meth:`run` call, not per event), so a
+        disabled hook costs nothing.
+        """
+        if hook is not None and check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every!r}")
+        self._snap_hook = hook
+        self._snap_every = check_every if hook is not None else 0
+        self._snap_countdown = self._snap_every
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle support: the kernel snapshots as *paused*.
+
+        Wall-clock instrumentation (profiler, burn hook) and the
+        snapshot hook hold live callbacks into harness objects; they are
+        dropped here and re-attached by the restore path — see
+        ``repro.snapshot.state``. ``_running``/``_stop_requested`` reset
+        so a simulator pickled mid-``run()`` resumes cleanly.
+        """
+        state = self.__dict__.copy()
+        state["_running"] = False
+        state["_stop_requested"] = False
+        state["_profiler"] = None
+        state["_burn"] = None
+        state["_snap_hook"] = None
+        state["_snap_every"] = 0
+        state["_snap_countdown"] = 0
+        return state
 
     def stop(self) -> None:
         """Ask the running event loop to halt after the current event.
@@ -339,6 +383,11 @@ class Simulator:
                 )
             else:
                 event.callback(*event.args)
+            if self._snap_hook is not None:
+                self._snap_countdown -= 1
+                if self._snap_countdown <= 0:
+                    self._snap_countdown = self._snap_every
+                    self._snap_hook()
             return True
         return False
 
@@ -373,6 +422,8 @@ class Simulator:
         try:
             if self._profiler is not None or self._burn is not None:
                 self._run_instrumented(until, max_events)
+            elif self._snap_hook is not None:
+                self._run_fast_hooked(until, max_events)
             else:
                 self._run_fast(until, max_events)
             if until is not None and self._now < until and not self._stop_requested:
@@ -422,6 +473,74 @@ class Simulator:
             if self._stop_requested:
                 break
 
+    def _run_fast_hooked(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> None:
+        """The fast loop plus the snapshot-hook countdown.
+
+        A separate copy of :meth:`_run_fast` so hookless runs never pay
+        for the countdown. The hook fires *between* events (after the
+        callback and handle recycling), so the heap, clock, and counters
+        are consistent whenever it observes them. Dispatch order, seq
+        numbers, and ``events_processed`` are identical to the unhooked
+        loop — the hook is invisible to the simulation.
+        """
+        queue = self._queue
+        pop = _heappop
+        free = self._free
+        free_append = free.append
+        refcount = getrefcount
+        budget = (
+            None if max_events is None else self._events_processed + max_events
+        )
+        countdown = self._snap_countdown
+        try:
+            while queue:
+                entry = pop(queue)
+                event = entry[3]
+                if event._cancelled:
+                    if self._cancelled_pending > 0:
+                        self._cancelled_pending -= 1
+                    event.owner = None
+                    continue
+                when = entry[0]
+                if until is not None and when > until:
+                    _heappush(queue, entry)
+                    break
+                if budget is not None and self._events_processed >= budget:
+                    _heappush(queue, entry)
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway simulation?)"
+                    )
+                self._now = when
+                entry = None  # release the heap tuple: makes the refcount check exact
+                self._events_processed += 1
+                event.callback(*event.args)
+                if refcount(event) == 2 and len(free) < _FREELIST_MAX:
+                    event.callback = None
+                    event.args = ()
+                    event.owner = None
+                    free_append(event)
+                countdown -= 1
+                if countdown <= 0:
+                    countdown = self._snap_every
+                    self._snap_hook()
+                    if self._snap_hook is None:
+                        # hook uninstalled itself: fall back to the plain
+                        # loop with the remaining event budget
+                        self._snap_countdown = 0
+                        remaining = (
+                            None
+                            if budget is None
+                            else budget - self._events_processed
+                        )
+                        self._run_fast(until, remaining)
+                        return
+                if self._stop_requested:
+                    break
+        finally:
+            self._snap_countdown = countdown
+
     def _run_instrumented(
         self, until: Optional[float], max_events: Optional[int]
     ) -> None:
@@ -463,6 +582,11 @@ class Simulator:
                 )
             else:
                 event.callback(*event.args)
+            if self._snap_hook is not None:
+                self._snap_countdown -= 1
+                if self._snap_countdown <= 0:
+                    self._snap_countdown = self._snap_every
+                    self._snap_hook()
             if self._stop_requested:
                 break
 

@@ -16,6 +16,20 @@ from typing import Dict, Sequence, TypeVar
 T = TypeVar("T")
 
 
+def raw_rng(seed: int) -> random.Random:
+    """A bare seeded generator for consumers that manage their own seed.
+
+    This is the single sanctioned constructor for ``random.Random``
+    outside this module: everything stochastic either draws from a
+    :class:`RandomStreams` stream or builds its generator here, so
+    snapshot capture can account for every generator in the simulation
+    (a lint test enforces this). Seed semantics are exactly
+    ``random.Random(seed)`` — callers that switched from a direct
+    constructor keep byte-identical draw sequences.
+    """
+    return random.Random(seed)
+
+
 class RandomStreams:
     """A factory of independent ``random.Random`` streams.
 

@@ -235,6 +235,19 @@ class TraceLog:
         for subscriber in self._subscribers:
             subscriber(rec)
 
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle support: records and counters travel, subscribers don't.
+
+        Subscribers are live callbacks into harness objects (runners,
+        injection drivers, JSONL sinks, flight-recorder taps); a
+        restored log starts with none, and the snapshot restore path
+        re-attaches the ones it owns (see ``repro.snapshot.state``).
+        External sinks must be re-subscribed by their owners.
+        """
+        state = self.__dict__.copy()
+        state["_subscribers"] = []
+        return state
+
     def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
         """Invoke ``callback`` for every subsequently recorded entry.
 

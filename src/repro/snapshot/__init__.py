@@ -1,0 +1,58 @@
+"""repro.snapshot: checkpoint/resume for the simulator itself.
+
+The paper's subject is consistent checkpoints of a distributed
+computation; this package applies the same idea to the simulation
+*running* that computation. A snapshot captures the complete state of a
+run — kernel event heap, protocol state machines, network buffers, RNG
+streams, metrics, trace counters — into a versioned on-disk container,
+and a resumed run retraces the uninterrupted run byte for byte (same
+trace hash, same metrics).
+
+Quick use::
+
+    from repro.snapshot import SnapshotPolicy, Snapshotter, resume_run
+
+    snap = Snapshotter(runner, SnapshotPolicy(every_events=1000), "snaps/")
+    snap.install()
+    result = runner.run(max_events=10_000_000)
+
+    # ... later, possibly in another process, after a crash:
+    image = resume_run("snaps/snap-00004-ev000004000.rsnap")
+    result = image.runner.resume(max_events=10_000_000)
+"""
+
+from repro.snapshot.format import (
+    FORMAT_VERSION,
+    SNAPSHOT_SUFFIX,
+    SnapshotMeta,
+    read_meta,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.snapshot.policy import SnapshotPolicy
+from repro.snapshot.snapshotter import (
+    SnapshotInfo,
+    SnapshotStore,
+    Snapshotter,
+    resume_memory,
+    resume_run,
+)
+from repro.snapshot.state import SimulationImage, capture, restore
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SNAPSHOT_SUFFIX",
+    "SnapshotMeta",
+    "SnapshotPolicy",
+    "SnapshotInfo",
+    "SnapshotStore",
+    "Snapshotter",
+    "SimulationImage",
+    "capture",
+    "restore",
+    "read_meta",
+    "read_snapshot",
+    "write_snapshot",
+    "resume_memory",
+    "resume_run",
+]

@@ -1,0 +1,121 @@
+"""Whole-graph capture and restore of a live simulation.
+
+The payload of a snapshot is one pickled :class:`SimulationImage`: the
+experiment runner and, through it, the entire object graph — kernel
+(event heap, freelist, cancelled bookkeeping, seq/clock counters),
+``MobileSystem`` (processes, protocol state machines, network channels
+and buffers, stable storage), ``RandomStreams`` generator states, the
+metrics registry, and the trace log with its counters and flight-
+recorder ring. Module-global counters that live *outside* the object
+graph (checkpoint ids, the fallback message-id space) ride alongside as
+plain ints.
+
+What deliberately does **not** travel:
+
+* trace subscribers (runner hook, injection-driver tap, external JSONL
+  sinks) — live callbacks, re-attached by :func:`restore`, except
+  external sinks which their owners must re-subscribe;
+* the kernel profiler and bench burn hook — wall-clock instrumentation;
+* the per-process ``itertools.count.__next__`` fast bindings — rebuilt
+  by each process's ``_reattach``;
+* the kernel's snapshot hook — re-armed via the image's snapshotter,
+  when one was attached.
+
+Restoring never executes simulation code: the image comes back exactly
+at the between-events point where it was captured, and
+``runner.resume()`` continues from there.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.checkpointing.types import checkpoint_ids_state, restore_checkpoint_ids
+from repro.errors import SnapshotError
+from repro.net.message import message_ids_state, restore_message_ids
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.core.runner import ExperimentRunner
+    from repro.core.system import MobileSystem
+    from repro.explore.injections import InjectionDriver
+    from repro.snapshot.snapshotter import Snapshotter
+    from repro.workload.base import Workload
+
+
+@dataclass
+class SimulationImage:
+    """Everything needed to continue a run, in one picklable bundle."""
+
+    runner: "ExperimentRunner"
+    driver: Optional["InjectionDriver"] = None
+    snapshotter: Optional["Snapshotter"] = None
+    checkpoint_ids: int = 0
+    message_ids: int = 0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def system(self) -> "MobileSystem":
+        return self.runner.system
+
+    @property
+    def workload(self) -> "Workload":
+        return self.runner.workload
+
+
+def capture(
+    runner: "ExperimentRunner",
+    driver: Optional["InjectionDriver"] = None,
+    snapshotter: Optional["Snapshotter"] = None,
+    extras: Optional[Dict[str, Any]] = None,
+) -> bytes:
+    """Serialize the full simulation state to bytes.
+
+    Must be called between kernel events (the snapshot hook guarantees
+    this; callers doing it by hand must not be inside an event
+    callback). Capture mutates nothing — the run continues unperturbed
+    whether or not the bytes are ever used.
+    """
+    image = SimulationImage(
+        runner=runner,
+        driver=driver,
+        snapshotter=snapshotter,
+        checkpoint_ids=checkpoint_ids_state(),
+        message_ids=message_ids_state(),
+        extras=dict(extras or {}),
+    )
+    try:
+        return pickle.dumps(image, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise SnapshotError(f"simulation state is not picklable: {exc!r}") from exc
+
+
+def restore(payload: bytes) -> SimulationImage:
+    """Rebuild a live simulation from :func:`capture` output.
+
+    Unpickles the image, restores the module-global id counters, and
+    re-attaches every dropped live binding: per-process message-id
+    fastpaths, the runner's trace subscription, the injection driver's
+    tap (when still armed), and the snapshotter's kernel hook (so a
+    resumed run keeps snapshotting with its original policy).
+    """
+    try:
+        image = pickle.loads(payload)
+    except Exception as exc:
+        raise SnapshotError(f"cannot unpickle snapshot payload: {exc!r}") from exc
+    if not isinstance(image, SimulationImage):
+        raise SnapshotError(
+            f"snapshot payload is {type(image).__name__}, not SimulationImage"
+        )
+    restore_checkpoint_ids(image.checkpoint_ids)
+    restore_message_ids(image.message_ids)
+    for process in image.system.processes.values():
+        process._reattach()
+        process.env._reattach()
+    image.runner._reattach()
+    if image.driver is not None:
+        image.driver._reattach()
+    if image.snapshotter is not None:
+        image.snapshotter.reattach(image.runner, driver=image.driver)
+    return image

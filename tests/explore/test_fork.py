@@ -1,0 +1,76 @@
+"""Fork-from-counterexample: a violating run re-executed from its
+nearest in-memory snapshot reproduces the identical violation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.explore import (
+    ExploreSpec,
+    fork_from_counterexample,
+    fork_meta,
+    run_explore_once,
+    trace_digest,
+)
+
+
+def _violating_run(snapshot_every=500):
+    """First violating seed of the planted-mutation self-test batch."""
+    spec = ExploreSpec(
+        name="quick", mutation="skip-mutable", n_seeds=17, shrink=False
+    )
+    for point in spec.expand():
+        run = run_explore_once(point, snapshot_every=snapshot_every)
+        if run.violations:
+            return point, run
+    pytest.fail("planted mutation produced no violation within the batch")
+
+
+def test_fork_reproduces_planted_mutation_violation():
+    _, run = _violating_run()
+    assert run.snapshotter is not None and run.snapshotter.memory
+    meta = fork_meta(run)
+    assert 0 < meta.events_processed < run.system.sim.events_processed
+
+    forked = fork_from_counterexample(run)
+    assert [v.to_dict() for v in forked.violations] == [
+        v.to_dict() for v in run.violations
+    ]
+    assert trace_digest(forked.trace) == trace_digest(run.trace)
+    assert forked.system.sim.events_processed == (
+        run.system.sim.events_processed
+    )
+
+
+def test_fork_from_earliest_snapshot_equivalent():
+    """Longest tail replay (snapshot 0) lands on the same world."""
+    _, run = _violating_run(snapshot_every=200)
+    assert len(run.snapshotter.memory) >= 2
+    forked = fork_from_counterexample(run, snapshot_index=0)
+    assert trace_digest(forked.trace) == trace_digest(run.trace)
+    assert [v.to_dict() for v in forked.violations] == [
+        v.to_dict() for v in run.violations
+    ]
+
+
+def test_snapshotting_does_not_perturb_explore_runs():
+    """Same point with and without snapshots: identical schedule."""
+    spec = ExploreSpec(name="quick", n_seeds=1, shrink=False)
+    point = spec.expand()[0]
+    bare = run_explore_once(point)
+    snapped = run_explore_once(point, snapshot_every=300)
+    assert trace_digest(snapped.trace) == trace_digest(bare.trace)
+    assert snapped.policy.calls == bare.policy.calls
+    assert [v.to_dict() for v in snapped.violations] == [
+        v.to_dict() for v in bare.violations
+    ]
+
+
+def test_fork_requires_snapshots():
+    spec = ExploreSpec(name="quick", n_seeds=1, shrink=False)
+    run = run_explore_once(spec.expand()[0])
+    with pytest.raises(SnapshotError, match="snapshot"):
+        fork_from_counterexample(run)
+    with pytest.raises(SnapshotError):
+        fork_meta(run)

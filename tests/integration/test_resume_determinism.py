@@ -1,0 +1,89 @@
+"""Resume determinism against the pinned fast-path golden values.
+
+The acceptance bar for ``repro.snapshot``: a seeded 16-process mutable
+run that is snapshotted, killed, and resumed must finish with the SAME
+golden trace hash and metrics digest as the uninterrupted run pinned in
+``test_fastpath_determinism.GOLDEN`` — resume is indistinguishable from
+never having stopped, byte for byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.core.config import PointToPointWorkloadConfig, RunConfig, SystemConfig
+from repro.core.runner import ExperimentRunner
+from repro.core.system import MobileSystem
+from repro.snapshot import SnapshotPolicy, SnapshotStore, Snapshotter, resume_run
+from repro.workload.point_to_point import PointToPointWorkload
+
+from tests.integration.test_fastpath_determinism import GOLDEN
+
+
+def _build_golden_b():
+    """The exact configuration pinned as GOLDEN['B']."""
+    config = SystemConfig(n_processes=16, seed=7, trace_messages=False)
+    system = MobileSystem(config, MutableCheckpointProtocol())
+    workload = PointToPointWorkload(
+        system, PointToPointWorkloadConfig(mean_send_interval=15.0)
+    )
+    runner = ExperimentRunner(
+        system, workload, RunConfig(max_initiations=6, warmup_initiations=1)
+    )
+    return system, runner
+
+
+def _assert_golden_b(system, result):
+    golden = GOLDEN["B"]
+    assert system.sim.trace.content_hash() == golden["trace_hash"]
+    metrics_sha = hashlib.sha256(
+        json.dumps(result.metrics, sort_keys=True).encode()
+    ).hexdigest()
+    assert metrics_sha == golden["metrics_sha256"]
+    assert system.sim.events_processed == golden["wall_events"]
+    assert system.sim.now == golden["sim_time"]
+
+
+def test_snapshot_enabled_run_still_matches_golden(tmp_path):
+    """Snapshotting on the fused fast loop changes no observable."""
+    system, runner = _build_golden_b()
+    snap = Snapshotter(
+        runner, SnapshotPolicy(every_events=1000), str(tmp_path / "snaps")
+    )
+    snap.install()
+    result = runner.run(max_events=10_000_000)
+    assert len(snap.taken) >= 10
+    _assert_golden_b(system, result)
+
+
+def test_resumed_run_matches_golden(tmp_path):
+    """Kill mid-run, resume from disk, land exactly on the golden."""
+    directory = str(tmp_path / "snaps")
+    system, runner = _build_golden_b()
+    snap = Snapshotter(runner, SnapshotPolicy(every_events=1000), directory)
+    snap.install()
+    runner.run(max_events=10_000_000)
+
+    # resume from a mid-run snapshot (~event 7000 of 12675), as if the
+    # original process had been killed there
+    infos = SnapshotStore(directory).list()
+    mid = next(i for i in infos if i.meta.events_processed == 7000)
+    image = resume_run(mid.path)
+    assert image.system.sim.events_processed == 7000
+    result = image.runner.resume(max_events=10_000_000)
+    _assert_golden_b(image.system, result)
+
+
+def test_resume_from_every_snapshot_is_deterministic(tmp_path):
+    """Any snapshot of the run is an equally valid resume point."""
+    directory = str(tmp_path / "snaps")
+    _, runner = _build_golden_b()
+    snap = Snapshotter(runner, SnapshotPolicy(every_events=2000), directory)
+    snap.install()
+    runner.run(max_events=10_000_000)
+    for info in SnapshotStore(directory).list():
+        image = resume_run(info.path)
+        result = image.runner.resume(max_events=10_000_000)
+        _assert_golden_b(image.system, result)

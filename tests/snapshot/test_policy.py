@@ -1,0 +1,73 @@
+"""SnapshotPolicy: validation, trigger math, hook granularity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.snapshot.policy import DEFAULT_CHECK_EVERY, SnapshotPolicy
+
+
+def test_default_policy_is_manual_only():
+    policy = SnapshotPolicy()
+    assert not policy.triggered
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"every_events": 1000},
+        {"every_sim_seconds": 60.0},
+        {"wallclock_seconds": 30.0},
+        {"every_events": 1000, "wallclock_seconds": 30.0},
+    ],
+)
+def test_any_trigger_arms_the_policy(kwargs):
+    assert SnapshotPolicy(**kwargs).triggered
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"every_events": 0},
+        {"every_events": -5},
+        {"every_sim_seconds": 0.0},
+        {"every_sim_seconds": -1.0},
+        {"wallclock_seconds": 0.0},
+        {"keep": 0},
+    ],
+)
+def test_invalid_values_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        SnapshotPolicy(**kwargs)
+
+
+def test_check_every_pure_event_policy_matches_period():
+    # an events-only policy needs no finer granularity than its period
+    assert SnapshotPolicy(every_events=500).check_every() == 500
+
+
+def test_check_every_time_triggers_use_default_granularity():
+    assert SnapshotPolicy(every_sim_seconds=10.0).check_every() == (
+        DEFAULT_CHECK_EVERY
+    )
+    assert SnapshotPolicy(wallclock_seconds=5.0).check_every() == (
+        DEFAULT_CHECK_EVERY
+    )
+
+
+def test_check_every_mixed_policy_takes_the_finer_grain():
+    policy = SnapshotPolicy(every_events=1000, every_sim_seconds=10.0)
+    assert policy.check_every() == DEFAULT_CHECK_EVERY
+    fine = SnapshotPolicy(every_events=8, every_sim_seconds=10.0)
+    assert fine.check_every() == 8
+
+
+def test_dict_round_trip():
+    policy = SnapshotPolicy(every_events=250, every_sim_seconds=5.0, keep=3)
+    assert SnapshotPolicy.from_dict(policy.to_dict()) == policy
+
+
+def test_from_dict_ignores_unknown_keys():
+    policy = SnapshotPolicy.from_dict({"every_events": 9, "future_knob": 1})
+    assert policy.every_events == 9

@@ -1,0 +1,74 @@
+"""RNG discipline audit: every draw goes through ``repro.sim.rng``.
+
+Snapshot/resume is only exact if every random stream rides in the
+object graph (or is reconstructible from it). A stray
+``random.Random`` — or worse, the module-global ``random`` functions —
+would be invisible to ``capture()`` and silently break resume
+determinism. This lint walks the package AST and fails on any ``random``
+(or ``numpy.random``) usage outside the sanctioned module.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+import repro
+
+#: the one module allowed to touch the stdlib RNG
+ALLOWED = {os.path.join("sim", "rng.py")}
+
+FORBIDDEN_MODULES = {"random", "numpy.random", "secrets"}
+
+
+def _package_root() -> str:
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _python_files():
+    root = _package_root()
+    for dirpath, _, names in os.walk(root):
+        for name in names:
+            if name.endswith(".py"):
+                path = os.path.join(dirpath, name)
+                yield os.path.relpath(path, root), path
+
+
+def _violations_in(path: str):
+    with open(path, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in FORBIDDEN_MODULES or alias.name.startswith(
+                    "numpy.random"
+                ):
+                    found.append(f"line {node.lineno}: import {alias.name}")
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module in FORBIDDEN_MODULES or module.startswith("numpy.random"):
+                found.append(f"line {node.lineno}: from {module} import ...")
+    return found
+
+
+def test_no_rng_outside_sanctioned_module():
+    offenders = {}
+    for rel, path in _python_files():
+        if rel in ALLOWED:
+            continue
+        found = _violations_in(path)
+        if found:
+            offenders[rel] = found
+    assert not offenders, (
+        "raw RNG usage outside repro/sim/rng.py (use RandomStreams or "
+        f"raw_rng instead, so snapshots capture the stream): {offenders}"
+    )
+
+
+def test_sanctioned_module_exports_raw_rng():
+    from repro.sim.rng import raw_rng
+
+    a, b = raw_rng(99), raw_rng(99)
+    draws = [a.random() for _ in range(5)]
+    assert draws == [b.random() for _ in range(5)]
