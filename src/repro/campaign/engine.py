@@ -184,6 +184,10 @@ class CampaignReport:
     executed: int = 0
     skipped: int = 0
     wall_time: float = 0.0
+    #: True when a ``should_stop`` callback ended the run early; the
+    #: report then covers only the points that finished (still in grid
+    #: order), and ``total`` counts only those.
+    cancelled: bool = False
 
     @property
     def total(self) -> int:
@@ -264,6 +268,8 @@ class CampaignEngine:
         executor: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
         snapshot_dir: Optional[str] = None,
         snapshot_every: Optional[int] = None,
+        pool: Optional[Any] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> None:
         if isinstance(spec, CampaignSpec):
             self.name = spec.name
@@ -293,6 +299,14 @@ class CampaignEngine:
         elif snapshot_dir is not None:
             raise ValueError("snapshot_dir requires the default executor")
         self.executor = executor
+        # An externally owned multiprocessing pool: the campaign service
+        # keeps one pool alive across many jobs so workers fork once,
+        # not once per submission. The engine never closes it.
+        self.pool = pool
+        # Cooperative cancellation: checked after each completed point;
+        # when it returns True the engine stops dispatching, records
+        # nothing further, and returns a partial (cancelled) report.
+        self.should_stop = should_stop
         self.progress = progress or ProgressReporter(
             total=len(self.points), workers=workers, enabled=not quiet
         )
@@ -306,36 +320,58 @@ class CampaignEngine:
 
         outcomes: Dict[str, PointRecord] = {}
         labels = {p.point_hash: p.label() for p in self.points}
-        for raw in self._execute(pending):
-            record = self._record_outcome(raw, attempts=1)
-            if not record.ok:
-                record = self._retry(record)
-            outcomes[record.point_hash] = record
-            self.progress.point_done(
-                labels.get(record.point_hash, record.point_hash),
-                record.ok,
-                record.wall_time,
-            )
+        cancelled = self.should_stop is not None and self.should_stop()
+        if not cancelled:
+            for raw in self._execute(pending):
+                record = self._record_outcome(raw, attempts=1)
+                if not record.ok:
+                    record = self._retry(record)
+                outcomes[record.point_hash] = record
+                self.progress.point_done(
+                    labels.get(record.point_hash, record.point_hash),
+                    record.ok,
+                    record.wall_time,
+                )
+                if self.should_stop is not None and self.should_stop():
+                    # Between-points cancellation: everything recorded so
+                    # far is durable; unstarted points simply never ran.
+                    cancelled = True
+                    break
         wall_time = self.progress.finish()
 
         report = CampaignReport(
             name=self.name,
-            points=self.points,
-            executed=len(pending),
+            executed=len(outcomes) if cancelled else len(pending),
             skipped=len(self.points) - len(pending),
             wall_time=wall_time,
+            cancelled=cancelled,
         )
         for point in self.points:
             record = outcomes.get(point.point_hash) or self.store.get(
                 point.point_hash
             )
-            assert record is not None, f"point {point.point_hash} vanished"
+            if record is None:
+                # Only possible on cancellation; a completed run has a
+                # record (fresh or resumed) for every point.
+                assert cancelled, f"point {point.point_hash} vanished"
+                continue
+            report.points.append(point)
             report.records.append(record)
         return report
 
     # -- internals -------------------------------------------------------
     def _execute(self, pending: List[RunPoint]):
         payloads = [p.to_dict() for p in pending]
+        if self.pool is not None and len(pending) > 1:
+            # Shared, caller-owned pool (the service): dispatch through
+            # it and leave its lifecycle alone. An abandoned iterator
+            # (cancellation) may leave queued tasks computing; the owner
+            # decides whether to terminate or let them drain.
+            for raw in self.pool.imap_unordered(
+                self.executor, payloads, chunksize=1
+            ):
+                yield raw
+            return
         if self.workers == 1 or len(pending) <= 1:
             for payload in payloads:
                 yield self.executor(payload)

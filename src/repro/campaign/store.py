@@ -132,7 +132,15 @@ class ResultStore:
         return len(self._records)
 
     def __contains__(self, point_hash: str) -> bool:
-        return point_hash in self._records
+        """True when the point has a *successful* result.
+
+        Membership is the cache-hit question ("can this point's compute
+        be reused?"), so failed records do not count — they are visible
+        via :meth:`get` and :meth:`failed_records`, but a cache keyed on
+        ``in`` must re-run them.
+        """
+        record = self._records.get(point_hash)
+        return record is not None and record.ok
 
     def get(self, point_hash: str) -> Optional[PointRecord]:
         return self._records.get(point_hash)
@@ -155,10 +163,18 @@ class ResultStore:
         absent. The crash-resume path does not need this index — workers
         look in ``<snapshot_dir>/<point_hash>/`` directly — but reports
         and cleanup tooling do.
+
+        Only files that still exist are reported: a completed point's
+        snapshots are dead state and cleanup tooling deletes them, but
+        the records listing them are immutable history — without the
+        existence guard every later call would keep reporting orphaned
+        ``.rsnap`` paths for points that long since completed.
         """
         paths: Dict[str, List[str]] = {}
         for point_hash, record in self._records.items():
             snapshots = (record.meta or {}).get("snapshots")
             if snapshots:
-                paths[point_hash] = list(snapshots)
+                live = [p for p in snapshots if os.path.exists(p)]
+                if live:
+                    paths[point_hash] = live
         return paths

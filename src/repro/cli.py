@@ -13,6 +13,8 @@ Subcommands::
     repro-sim profile ...                  kernel profile of one run
     repro-sim inspect trace.jsonl ...      causal wave forensics on a trace
     repro-sim snapshots snaps/ ...         inspect simulator snapshots
+    repro-sim serve --data-dir data ...    always-on campaign service (HTTP)
+    repro-sim submit --preset smoke ...    submit a grid to a running service
 """
 
 from __future__ import annotations
@@ -193,9 +195,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "reports, causal chains back to the initiator, Mermaid/DOT "
         "diagrams",
     )
-    inspect.add_argument("path",
+    inspect.add_argument("path", nargs="?", default=None,
                          help="trace file (JSON lines, e.g. from "
-                         "run --export-trace)")
+                         "run --export-trace); optional with "
+                         "--from-snapshot")
     inspect.add_argument("--wave", type=int, metavar="N", default=None,
                          help="restrict to one wave (0-based index)")
     inspect.add_argument("--explain", type=int, metavar="PID", default=None,
@@ -204,6 +207,17 @@ def _build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--processes", type=int, default=None,
                          help="process count (default: inferred from the "
                          "trace)")
+    inspect.add_argument("--from-snapshot", metavar="DIR", default=None,
+                         help="time-travel: instead of trusting the trace "
+                         "file (which a flight recorder may have truncated), "
+                         "resume the nearest .rsnap in DIR and regenerate "
+                         "the records at full DEBUG fidelity, then inspect "
+                         "the replayed trace")
+    inspect.add_argument("--window-start", type=float, metavar="T",
+                         default=None,
+                         help="sim time the window of interest starts at; "
+                         "picks the nearest snapshot at or before T "
+                         "(default: the earliest snapshot)")
     fmt = inspect.add_mutually_exclusive_group()
     fmt.add_argument("--mermaid", action="store_true",
                      help="emit a Mermaid sequence diagram (needs --wave)")
@@ -211,6 +225,62 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="emit a Graphviz digraph (needs --wave)")
     fmt.add_argument("--json", dest="as_json", action="store_true",
                      help="emit the full report as JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on campaign service: an HTTP front end over "
+        "a durable SQLite result store with a global dedup cache, async "
+        "job queue, and crash-durable jobs",
+    )
+    serve.add_argument("--data-dir", metavar="DIR", default="service-data",
+                       help="where results.sqlite and point snapshots live "
+                       "(default: service-data/)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (default: 8765; 0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes shared across jobs")
+    serve.add_argument("--snapshot-every", type=int, metavar="N",
+                       default=None,
+                       help="events between in-progress point snapshots "
+                       "(default: 2000)")
+    serve.add_argument("--import", dest="import_jsonl", metavar="PATH",
+                       action="append", default=[],
+                       help="seed the cache from a JSONL campaign store "
+                       "before serving (repeatable)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a grid to a running campaign service and (by "
+        "default) wait for the results",
+    )
+    what = submit.add_mutually_exclusive_group(required=True)
+    what.add_argument("--preset", choices=sorted(_campaign_presets()),
+                      help="a built-in campaign")
+    what.add_argument("--spec", metavar="PATH",
+                      help="campaign spec as a JSON file")
+    submit.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="service base URL (default: "
+                        "http://127.0.0.1:8765)")
+    submit.add_argument("--name", default=None,
+                        help="job name shown in listings (default: the "
+                        "spec name)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job id and return immediately")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="give up waiting after this many seconds")
+    submit.add_argument("--tolerate-outages", action="store_true",
+                        help="keep polling through service restarts "
+                        "(crash-durable jobs finish on their own)")
+    submit.add_argument("--results-json", metavar="PATH", default=None,
+                        help="write the job's canonical results document "
+                        "(sorted-key JSON, byte-stable across identical "
+                        "resubmissions) to PATH")
+    submit.add_argument("--quiet", action="store_true",
+                        help="suppress per-point result lines")
 
     snapshots = sub.add_parser(
         "snapshots",
@@ -649,11 +719,30 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.obs.forensics import build_forensics
     from repro.sim.export import read_trace
 
-    try:
-        trace = read_trace(args.path)
-    except (OSError, ValueError, KeyError) as exc:
-        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+    if args.from_snapshot is not None:
+        from repro.errors import SnapshotError
+        from repro.snapshot import replay_window
+
+        try:
+            replayed = replay_window(args.from_snapshot, args.window_start)
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        trace = replayed.trace
+        print(
+            f"# time-travel: resumed {replayed.snapshot.path} "
+            f"(t={replayed.start_time:.2f}s); records from there on are "
+            f"regenerated at full DEBUG fidelity"
+        )
+    elif args.path is None:
+        print("error: need a trace file or --from-snapshot", file=sys.stderr)
         return 2
+    else:
+        try:
+            trace = read_trace(args.path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+            return 2
     if (args.mermaid or args.dot) and args.wave is None:
         print("error: --mermaid/--dot need --wave", file=sys.stderr)
         return 2
@@ -676,6 +765,100 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.service import serve
+
+    try:
+        if args.workers < 1:
+            raise ValueError("--workers must be at least 1")
+        serve(
+            data_dir=args.data_dir,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            snapshot_every=args.snapshot_every,
+            import_jsonl=args.import_jsonl,
+            verbose=args.verbose,
+        )
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.spec:
+            with open(args.spec, encoding="utf-8") as fh:
+                job = client.submit(spec=json.load(fh), name=args.name)
+        else:
+            job = client.submit(preset=args.preset, name=args.name)
+    except (ServiceError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    job_id = job["job_id"]
+    print(
+        f"job {job_id} submitted: {job['total']} points, "
+        f"{job['cache_hits']} cache hits, {job['queued']} queued"
+    )
+    if args.no_wait:
+        return 0
+
+    try:
+        status = client.wait(
+            job_id,
+            timeout=args.timeout,
+            tolerate_outages=args.tolerate_outages,
+        )
+        results = client.results(job_id)
+    except (ServiceError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if not args.quiet:
+        for row in results["rows"]:
+            ident = f"{row['hash']}  {row['label']:40s}"
+            if row["status"] == "ok":
+                metrics = "  ".join(
+                    f"{key}={row[key]}"
+                    for key in ("tentative_mean", "redundant_mutable_mean",
+                                "redundant_ratio", "duration_s",
+                                "initiations")
+                )
+                print(f"{ident} {metrics}")
+            else:
+                print(f"{ident} FAILED: {row['error']}")
+    print(
+        f"job {job_id} {status['status']}: {status['executed']} executed, "
+        f"{status['cache_hits']} cache hits, "
+        f"{len(status.get('failed_points') or [])} failed "
+        f"in {status['wall_time']:.2f}s"
+    )
+    if args.results_json:
+        # Drop the submission-scoped fields (which job computed what):
+        # what remains depends only on the grid's content, so identical
+        # resubmissions produce byte-identical files (cmp-able in CI).
+        document = {
+            key: value
+            for key, value in results.items()
+            if key not in ("job_id", "cache_hits", "executed")
+        }
+        with open(args.results_json, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"results written to {args.results_json}")
+    return 0 if status["status"] == "done" else 1
 
 
 def _cmd_figures() -> int:
@@ -729,6 +912,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_inspect(args)
     if args.command == "snapshots":
         return _cmd_snapshots(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "report":
         from repro.reporting import ReportScale, write_report
 

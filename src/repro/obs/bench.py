@@ -216,6 +216,93 @@ def _snapshot_overhead_case() -> BenchCase:
     )
 
 
+@dataclass
+class _StoreBenchCase:
+    """Result-store backend throughput: N appends then N hash lookups.
+
+    Duck-compatible with :class:`BenchCase`. Each run writes into a
+    fresh temporary directory (deleted afterwards), so the measurement
+    is the backend's steady-state append+lookup path, not filesystem
+    reuse artifacts. Reported "events" are operations (2 × points).
+
+    The JSONL backend fsyncs every append (its durability contract), so
+    its rate is partly disk-bound; the SQLite backend commits in WAL
+    mode with ``synchronous=NORMAL`` and batches fsyncs. The pair
+    documents what the service gains by moving campaign results into
+    SQLite — and the 25% gate keeps both append paths honest.
+    """
+
+    name: str
+    backend: str  # "jsonl" | "sqlite"
+    points: int = 10_000
+    description: str = ""
+
+    def _make_record(self, i: int):
+        from repro.campaign.store import PointRecord
+
+        return PointRecord(
+            point_hash=f"{i:032x}",
+            status="ok",
+            point={"protocol": "mutable", "seed": i},
+            result={"protocol": "mutable", "n_processes": 2, "seed": i,
+                    "initiations": [], "counters": {},
+                    "total_blocked_time": 0.0, "sim_time": 1.0,
+                    "wall_events": 10},
+        )
+
+    def run(self, burn: Optional[Callable[[], None]] = None) -> Tuple[int, float]:
+        import shutil
+        import tempfile
+
+        from repro.campaign.store import ResultStore
+
+        records = [self._make_record(i) for i in range(self.points)]
+        workdir = tempfile.mkdtemp(prefix="bench-store-")
+        try:
+            if self.backend == "jsonl":
+                store: Any = ResultStore(workdir + "/results.jsonl")
+            else:
+                from repro.service.db import ResultDB
+
+                store = ResultDB(workdir + "/results.sqlite")
+            start = time.perf_counter()
+            for record in records:
+                if burn is not None:
+                    burn()
+                store.append(record)
+            for record in records:
+                if burn is not None:
+                    burn()
+                if store.get(record.point_hash) is None:
+                    raise AssertionError("lookup missed a written record")
+            elapsed = time.perf_counter() - start
+            store.close()
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+        return 2 * self.points, elapsed
+
+
+def _store_backend_cases() -> List[_StoreBenchCase]:
+    return [
+        _StoreBenchCase(
+            name="store_jsonl_10k",
+            backend="jsonl",
+            description=(
+                "10k PointRecord appends (fsync each) + 10k hash lookups "
+                "on the JSONL ResultStore"
+            ),
+        ),
+        _StoreBenchCase(
+            name="store_sqlite_10k",
+            backend="sqlite",
+            description=(
+                "10k PointRecord appends + 10k hash lookups on the "
+                "SQLite ResultDB (WAL, synchronous=NORMAL)"
+            ),
+        ),
+    ]
+
+
 def default_cases() -> List[Any]:
     """The standing kernel benchmark suite.
 
@@ -251,6 +338,7 @@ def default_cases() -> List[Any]:
         ),
         _message_alloc_case(),
         _snapshot_overhead_case(),
+        *_store_backend_cases(),
     ]
 
 

@@ -1,0 +1,127 @@
+"""A small client for the campaign service (stdlib ``urllib`` only).
+
+``repro-sim submit`` is built on this; it is also the programmatic way
+to drive a remote service::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    job = client.submit(preset="smoke")
+    done = client.wait(job["job_id"])
+    results = client.results(job["job_id"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """An HTTP-level or service-level failure, with the server's message."""
+
+
+class ServiceClient:
+    """JSON-over-HTTP calls mirroring the server's endpoints."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+    def _request(
+        self, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8"))["error"]
+            except Exception:  # noqa: BLE001 - fall back to the status line
+                message = str(exc)
+            raise ServiceError(f"{url}: {message}") from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach {url}: {exc.reason}") from exc
+
+    # -- endpoints -------------------------------------------------------
+    def submit(
+        self,
+        preset: Optional[str] = None,
+        spec: Optional[Dict[str, Any]] = None,
+        points: Optional[List[Dict[str, Any]]] = None,
+        name: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Submit one grid (exactly one of preset/spec/points)."""
+        body: Dict[str, Any] = {}
+        if preset is not None:
+            body["preset"] = preset
+        if spec is not None:
+            body["spec"] = spec
+        if points is not None:
+            body["points"] = points
+        if len(body) != 1:
+            raise ValueError("pass exactly one of preset, spec, points")
+        if name is not None:
+            body["name"] = name
+        return self._request("/submit", body)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request(f"/status/{job_id}")
+
+    def results(self, job_id: str) -> Dict[str, Any]:
+        return self._request(f"/results/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("/jobs")["jobs"]
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("/metrics")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request(f"/cancel/{job_id}", body={})
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("/healthz").get("ok"))
+        except ServiceError:
+            return False
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_seconds: float = 0.5,
+        tolerate_outages: bool = False,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns it.
+
+        With ``tolerate_outages`` the wait survives a service restart
+        (connection errors are retried until ``timeout``) — the client
+        side of crash-durable jobs: kill the server mid-job, start it
+        again, and this call still returns the completed job.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                status = self.status(job_id)
+                if status["status"] in ("done", "failed", "cancelled"):
+                    return status
+            except ServiceError:
+                if not tolerate_outages:
+                    raise
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(f"{job_id} not finished after {timeout}s")
+            time.sleep(poll_seconds)

@@ -235,6 +235,21 @@ class TraceLog:
         for subscriber in self._subscribers:
             subscriber(rec)
 
+    def release_flight_recorder(self) -> None:
+        """Leave flight-recorder mode: retain every record from now on.
+
+        Records currently held (all INFO plus the surviving DEBUG tail)
+        are folded into the unbounded list in recording order; already
+        evicted ones are gone. Time-travel replay uses this after a
+        snapshot restore — a replay exists precisely to regenerate the
+        records an original bounded ring would evict.
+        """
+        if self._debug_ring is not None:
+            self._records = self._merged()
+            self._debug_ring = None
+            self._info_seq = []
+        self.debug_capacity = None
+
     def __getstate__(self) -> Dict[str, Any]:
         """Pickle support: records and counters travel, subscribers don't.
 

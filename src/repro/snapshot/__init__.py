@@ -38,8 +38,16 @@ from repro.snapshot.snapshotter import (
     resume_run,
 )
 from repro.snapshot.state import SimulationImage, capture, restore
+from repro.snapshot.timetravel import (
+    ReplayedWindow,
+    nearest_snapshot,
+    replay_window,
+)
 
 __all__ = [
+    "ReplayedWindow",
+    "nearest_snapshot",
+    "replay_window",
     "FORMAT_VERSION",
     "SNAPSHOT_SUFFIX",
     "SnapshotMeta",

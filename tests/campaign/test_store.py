@@ -31,7 +31,10 @@ def test_in_memory_store():
     store.append(make_record("a"))
     store.append(make_record("b", status="failed"))
     assert len(store) == 2
-    assert "a" in store and "b" in store
+    assert "a" in store
+    # membership is the cache-hit question: failed records don't count
+    assert "b" not in store
+    assert store.get("b") is not None
     assert store.completed_hashes() == {"a"}
     assert [r.point_hash for r in store.failed_records()] == ["b"]
 
@@ -81,3 +84,18 @@ def test_record_rehydrates_run_result():
     result = record.run_result()
     assert isinstance(result, RunResult)
     assert result.sim_time == 1.0
+
+
+def test_snapshot_paths_orphan_guard(tmp_path):
+    """Deleted .rsnap files for completed points are not reported."""
+    live = tmp_path / "live.rsnap"
+    live.write_bytes(b"x")
+    gone = tmp_path / "gone.rsnap"
+    store = ResultStore()
+    store.append(make_record("a", meta={"snapshots": [str(live), str(gone)]}))
+    store.append(make_record("b", meta={"snapshots": [str(gone)]}))
+    store.append(make_record("c"))
+    assert store.snapshot_paths() == {"a": [str(live)]}
+    # cleanup deletes the last live file -> the point drops out entirely
+    live.unlink()
+    assert store.snapshot_paths() == {}

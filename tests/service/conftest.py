@@ -1,0 +1,37 @@
+"""Shared grids for the service tests: small, fast, deterministic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+
+
+@pytest.fixture
+def tiny_spec() -> CampaignSpec:
+    """Two sub-100ms points — the default service-test workload."""
+    return CampaignSpec(
+        name="tiny",
+        protocols=["mutable"],
+        workloads=[
+            {"kind": "p2p", "mean_send_interval": 120.0},
+            {"kind": "p2p", "mean_send_interval": 200.0},
+        ],
+        configs=[{"n_processes": 4}],
+        run={"max_initiations": 2},
+    )
+
+
+@pytest.fixture
+def slow_spec() -> CampaignSpec:
+    """A few hundred milliseconds of work — enough to interrupt."""
+    return CampaignSpec(
+        name="slow",
+        protocols=["mutable"],
+        workloads=[
+            {"kind": "p2p", "mean_send_interval": interval}
+            for interval in (50.0, 60.0, 70.0)
+        ],
+        configs=[{"n_processes": 16, "trace_messages": True}],
+        run={"max_initiations": 30},
+    )

@@ -1,0 +1,73 @@
+"""Dedup determinism: cached answers are bit-identical to computed ones.
+
+The cache key is the point's content hash and simulations are
+deterministic, so serving a result from the store must be
+indistinguishable — bit for bit — from recomputing it, regardless of
+which submission computed it or how submissions interleave.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign.spec import CampaignSpec
+from repro.service.jobs import CampaignService
+
+
+def metrics_doc(report):
+    return json.dumps(report.merged_metrics().snapshot(), sort_keys=True)
+
+
+def overlapping_specs():
+    def spec(name, intervals):
+        return CampaignSpec(
+            name=name,
+            protocols=["mutable"],
+            workloads=[
+                {"kind": "p2p", "mean_send_interval": i} for i in intervals
+            ],
+            configs=[{"n_processes": 4}],
+            run={"max_initiations": 2},
+            seed=3,
+        )
+
+    # 120/160 appear in both grids: the overlap one submission computes
+    # and the other must be served from cache.
+    return (
+        spec("grid-a", (100.0, 120.0, 160.0)),
+        spec("grid-b", (120.0, 160.0, 240.0)),
+    )
+
+
+def test_identical_grid_twice_is_all_hits_and_bit_identical(tiny_spec):
+    with CampaignService() as svc:
+        first = svc.submit(tiny_spec)
+        ref = metrics_doc(svc.wait(first.job_id, timeout=60))
+        second = svc.submit(tiny_spec)
+        report = svc.wait(second.job_id, timeout=60)
+        assert second.cache_hits == len(tiny_spec.expand())  # 100% hits
+        assert second.executed == 0  # zero simulation work
+        assert metrics_doc(report) == ref
+
+
+def test_concurrent_overlapping_grids_match_serial():
+    spec_a, spec_b = overlapping_specs()
+
+    # Serial reference: each grid in its own pristine service.
+    serial = {}
+    for spec in (spec_a, spec_b):
+        with CampaignService() as svc:
+            job = svc.submit(spec)
+            serial[spec.name] = metrics_doc(svc.wait(job.job_id, timeout=60))
+
+    # Concurrent: both enqueued before either runs, sharing the cache.
+    with CampaignService() as svc:
+        job_a = svc.submit(spec_a)
+        job_b = svc.submit(spec_b)
+        report_a = svc.wait(job_a.job_id, timeout=60)
+        report_b = svc.wait(job_b.job_id, timeout=60)
+        assert metrics_doc(report_a) == serial[spec_a.name]
+        assert metrics_doc(report_b) == serial[spec_b.name]
+        # the overlap was computed once: 6 submitted, at most 4 executed
+        executed = svc.metrics.value("service.points.executed")
+        assert executed == 4

@@ -1,0 +1,144 @@
+"""Tests for the async job manager and the CampaignService facade."""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.service.db import ResultDB
+from repro.service.jobs import CANCELLED, DONE, QUEUED, CampaignService, JobManager
+
+
+def canonical(report):
+    """The deterministic part of a report: rows minus wall time, metrics."""
+    rows = [
+        {k: v for k, v in row.items() if k != "wall_time"}
+        for row in report.rows()
+    ]
+    return json.dumps(
+        {"rows": rows, "metrics": report.merged_metrics().snapshot()},
+        sort_keys=True,
+    )
+
+
+def test_submit_and_wait(tiny_spec):
+    with CampaignService() as svc:
+        job = svc.submit(tiny_spec)
+        report = svc.wait(job.job_id, timeout=60)
+        assert job.status == DONE
+        assert job.executed == 2
+        assert job.cache_hits == 0
+        assert report.total == 2
+        assert report.ok
+        doc = job.to_dict()
+        assert doc["done"] == doc["total"] == 2
+        assert doc["queued"] == 2
+
+
+def test_resubmit_is_all_cache_hits(tiny_spec):
+    with CampaignService() as svc:
+        first = svc.submit(tiny_spec)
+        ref = canonical(svc.wait(first.job_id, timeout=60))
+        again = svc.submit(tiny_spec)
+        report = svc.wait(again.job_id, timeout=60)
+        assert again.cache_hits == 2
+        assert again.queued == 0
+        assert again.executed == 0
+        assert canonical(report) == ref
+        assert svc.cache.stats()["hits"] == 2
+
+
+def test_submit_points_and_dicts(tiny_spec):
+    points = tiny_spec.expand()
+    with CampaignService() as svc:
+        job = svc.submit([p.to_dict() for p in points], name="as-dicts")
+        report = svc.wait(job.job_id, timeout=60)
+        assert job.name == "as-dicts"
+        assert report.total == 2
+
+
+def test_empty_grid_rejected():
+    with CampaignService() as svc:
+        try:
+            svc.submit([])
+            raise AssertionError("empty grid accepted")
+        except ValueError:
+            pass
+
+
+def test_cancel_queued_job(tiny_spec, slow_spec):
+    """A job cancelled while still queued never runs."""
+    with CampaignService() as svc:
+        first = svc.submit(slow_spec)   # occupies the runner
+        second = svc.submit(tiny_spec)  # waits behind it
+        assert svc.cancel(second.job_id)
+        job = svc.manager.wait(second.job_id, timeout=60)
+        assert job.status == CANCELLED
+        assert job.executed == 0
+        svc.manager.wait(first.job_id, timeout=120)
+        # a finished job cannot be cancelled
+        assert not svc.cancel(first.job_id)
+
+
+def test_queued_job_recovers_across_restart(tmp_path, tiny_spec):
+    """A persisted queued job survives a dead service (deterministically:
+    the first manager is never started, so the job cannot have run)."""
+    db_path = str(tmp_path / "results.sqlite")
+    db = ResultDB(db_path)
+    manager = JobManager(db)  # no .start(): simulates dying pre-run
+    job = manager.submit(tiny_spec)
+    assert job.status == QUEUED
+    manager.shutdown()
+    db.close()
+
+    db2 = ResultDB(db_path)
+    manager2 = JobManager(db2).start()
+    try:
+        recovered = manager2.jobs[job.job_id]
+        assert recovered.resumed
+        finished = manager2.wait(job.job_id, timeout=60)
+        assert finished.status == DONE
+        report = manager2.report(job.job_id)
+        assert report.total == 2 and report.ok
+        assert manager2.metrics.value("service.jobs.resumed") == 1
+    finally:
+        manager2.shutdown()
+        db2.close()
+
+
+def test_interrupted_job_completes_identically(tmp_path, slow_spec):
+    """Shutdown mid-job requeues it; a new service completes it with
+    results identical to an uninterrupted run."""
+    with CampaignService() as ref:
+        job = ref.submit(slow_spec)
+        started = time.perf_counter()
+        ref_doc = canonical(ref.wait(job.job_id, timeout=120))
+        uninterrupted = time.perf_counter() - started
+
+    data_dir = str(tmp_path / "svc")
+    svc = CampaignService(data_dir=data_dir)
+    job = svc.submit(slow_spec)
+    time.sleep(uninterrupted / 3)  # partway through the grid
+    svc.close()  # cooperative stop between points
+
+    svc2 = CampaignService(data_dir=data_dir)
+    try:
+        report = svc2.wait(job.job_id, timeout=120)
+        assert svc2.manager.jobs[job.job_id].status == DONE
+        assert canonical(report) == ref_doc
+    finally:
+        svc2.close()
+
+
+def test_status_document(tiny_spec):
+    with CampaignService() as svc:
+        job = svc.submit(tiny_spec)
+        svc.wait(job.job_id, timeout=60)
+        status = svc.status()
+        assert status["store"] == {"ok": 2}
+        assert status["cache"] == {"hits": 0, "misses": 2}
+        assert [j["job_id"] for j in status["jobs"]] == [job.job_id]
+        counters = status["metrics"]["counters"]
+        assert counters["service.jobs.submitted"] == 1
+        assert counters["service.jobs.done"] == 1
+        assert counters["service.points.executed"] == 2
