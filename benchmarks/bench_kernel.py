@@ -10,6 +10,13 @@ Usage::
     python benchmarks/bench_kernel.py              # run + compare
     python benchmarks/bench_kernel.py --write      # (re)write the baseline
     python benchmarks/bench_kernel.py --check      # exit 1 on >25% regression
+    python benchmarks/bench_kernel.py --ladder     # add the population ladder
+
+``--ladder`` appends the fixed-budget population rungs
+(``mutable_{256,1024,4096}p_trace_off``; the default suite's
+``mutable_32p_trace_off`` is the 32p rung) and prints the 1024p-vs-32p
+per-event ratio — the scaling acceptance number, which must stay under
+4x.
 
 ``--check`` is what CI's perf-smoke job runs. The comparison uses
 normalized rates (events/s divided by a same-machine calibration-loop
@@ -29,6 +36,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.obs.bench import (  # noqa: E402
     DEFAULT_THRESHOLD,
     compare,
+    default_cases,
+    ladder_cases,
     load_baseline,
     run_bench_suite,
 )
@@ -51,9 +60,14 @@ def main(argv=None) -> int:
                         help="runs per case; best rate is kept")
     parser.add_argument("--baseline", default=BASELINE_PATH,
                         help="baseline JSON path")
+    parser.add_argument("--ladder", action="store_true",
+                        help="append the 256p/1024p/4096p population rungs")
     args = parser.parse_args(argv)
 
-    report = run_bench_suite(repeats=args.repeats)
+    cases = default_cases()
+    if args.ladder:
+        cases += ladder_cases()
+    report = run_bench_suite(cases=cases, repeats=args.repeats)
     for row in report["results"]:
         print(
             f"{row['name']:28s} {row['events']:8d} events  "
@@ -64,6 +78,13 @@ def main(argv=None) -> int:
     on = by_name.get("mutable_16p_trace_on")
     if off and on and on["rate"] > 0:
         print(f"trace-off speedup over trace-on: {off['rate'] / on['rate']:.2f}x")
+    small = by_name.get("mutable_32p_trace_off")
+    large = by_name.get("mutable_1024p_trace_off")
+    if small and large and large["rate"] > 0:
+        print(
+            "1024p per-event cost vs 32p: "
+            f"{small['rate'] / large['rate']:.2f}x (acceptance: < 4x)"
+        )
 
     if args.write:
         with open(args.baseline, "w", encoding="utf-8") as fh:
@@ -76,7 +97,11 @@ def main(argv=None) -> int:
     if baseline is None:
         print(f"no baseline at {args.baseline}; run with --write to create one")
         return 1 if args.check else 0
-    failures = compare(baseline, report, threshold=args.threshold)
+    warnings: list = []
+    failures = compare(baseline, report, threshold=args.threshold,
+                       warnings=warnings)
+    for line in warnings:
+        print(f"WARNING: {line}")
     if failures:
         for line in failures:
             print(f"REGRESSION: {line}")

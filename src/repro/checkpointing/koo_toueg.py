@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.checkpointing.protocol import CheckpointProtocol, ProcessEnv, ProtocolProcess
+from repro.checkpointing.state import BitVector, IntVector, true_indices
 from repro.checkpointing.types import CheckpointKind, CheckpointRecord, Trigger
 from repro.errors import ProtocolError
 from repro.net.message import ComputationMessage, SystemMessage
@@ -41,8 +42,8 @@ class KooTouegProcess(ProtocolProcess):
         super().__init__(env)
         self.protocol = protocol
         n = self.n
-        self.r: List[bool] = [False] * n
-        self.csn: List[int] = [0] * n
+        self.r = BitVector(n)
+        self.csn = IntVector(n)
         self.old_csn = 0
         self.sent = False
         #: the initiation currently participated in (None when idle)
@@ -100,7 +101,7 @@ class KooTouegProcess(ProtocolProcess):
         record = self.make_checkpoint(
             self.csn[self.pid], CheckpointKind.TENTATIVE, trigger
         )
-        self._prev_context = (self.old_csn, list(self.r), self.sent)
+        self._prev_context = (self.old_csn, self.r.copy(), self.sent)
         self._tentative = record
         self.old_csn = self.csn[self.pid]
         self._own_save_done = False
@@ -115,9 +116,7 @@ class KooTouegProcess(ProtocolProcess):
         self._maybe_finish()
 
     def _request_children(self, trigger: Trigger) -> None:
-        self._children = [
-            k for k in range(self.n) if k != self.pid and self.r[k]
-        ]
+        self._children = [k for k in true_indices(self.r) if k != self.pid]
         self._awaiting = set(self._children)
         for k in self._children:
             self.env.send_system(
@@ -132,7 +131,7 @@ class KooTouegProcess(ProtocolProcess):
             )
         # The dependency set is consumed by this checkpoint.
         self.sent = False
-        self.r = [False] * self.n
+        self.r = BitVector(self.n)
 
     # ------------------------------------------------------------------
     def _on_request(self, message: SystemMessage) -> None:
@@ -260,7 +259,7 @@ class KooTouegProcess(ProtocolProcess):
             else:
                 assert self._prev_context is not None
                 self.old_csn, prev_r, prev_sent = self._prev_context
-                self.r = [a or b for a, b in zip(self.r, prev_r)]
+                self.r.or_with(prev_r)
                 self.sent = self.sent or prev_sent
                 self.env.discard_stable(record)
                 self.env.trace(

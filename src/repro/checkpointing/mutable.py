@@ -29,6 +29,7 @@ from functools import partial
 from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.checkpointing.protocol import CheckpointProtocol, ProcessEnv, ProtocolProcess
+from repro.checkpointing.state import BitVector, IntVector, true_indices
 from repro.checkpointing.types import (
     CheckpointKind,
     CheckpointRecord,
@@ -48,7 +49,7 @@ class _TentativeContext:
 
     record: CheckpointRecord
     prev_old_csn: int
-    prev_r: List[bool]
+    prev_r: BitVector
     prev_sent: bool
 
 
@@ -66,16 +67,16 @@ class MutableCheckpointProcess(ProtocolProcess):
         super().__init__(env)
         self.protocol = protocol
         n = self.n
-        # §3.2 data structures
-        self.r: List[bool] = [False] * n
-        self.csn: List[int] = [0] * n
+        # §3.2 data structures (array-backed; see checkpointing.state)
+        self.r = BitVector(n)
+        self.csn = IntVector(n)
         # Highest *committed* inum known per initiator. The paper folds
         # this into csn[] (commit sets csn_j[pid] = inum), but that
         # breaks the Fig. 4 suppression: req_csn must reflect the csn at
         # which the dependency message was sent, not commit gossip, or a
         # post-commit request is no longer recognized as stale. Keeping
         # commit knowledge separate satisfies both §3.1.3 and §3.3.4.
-        self.commit_known: List[int] = [0] * n
+        self.commit_known = IntVector(n)
         self.sent = False
         self.cp_state = False
         self.own_trigger = Trigger(self.pid, 0)
@@ -145,7 +146,7 @@ class MutableCheckpointProcess(ProtocolProcess):
         self._register_tentative(record)
         self.old_csn = self.csn[self.pid]
         self.sent = False
-        self.r = [False] * self.n
+        self.r = BitVector(self.n)
         self.env.trace(
             "tentative", pid=self.pid, trigger=trigger, csn=record.csn,
             ckpt_id=record.ckpt_id, via="initiator",
@@ -182,8 +183,8 @@ class MutableCheckpointProcess(ProtocolProcess):
     # ------------------------------------------------------------------
     def _prop_cp(
         self,
-        r_vec: List[bool],
-        mr: List[MREntry],
+        r_vec: BitVector,
+        mr,
         msg_trigger: Trigger,
         recv_weight: Fraction,
     ) -> Fraction:
@@ -211,12 +212,11 @@ class MutableCheckpointProcess(ProtocolProcess):
         weight = as_weight(recv_weight)
         send_set = [
             k
-            for k in range(self.n)
+            for k in true_indices(r_vec)
             if k != self.pid
-            and r_vec[k]
             and not (mr[k].r and mr[k].csn >= self.csn[k])
         ]
-        temp = list(mr)
+        temp = mr.copy()
         for k in send_set:
             temp[k] = MREntry(max(mr[k].csn, self.csn[k]), True)
         for k in send_set:
@@ -243,7 +243,7 @@ class MutableCheckpointProcess(ProtocolProcess):
     def _on_request(self, message: SystemMessage) -> None:
         fields = message.fields
         from_pid: int = fields["from_pid"]
-        mr: List[MREntry] = fields["mr"]
+        mr = fields["mr"]
         recv_csn: int = fields["recv_csn"]
         msg_trigger: Trigger = fields["trigger"]
         req_csn: int = fields["req_csn"]
@@ -300,13 +300,13 @@ class MutableCheckpointProcess(ProtocolProcess):
             context = _TentativeContext(
                 record=record,
                 prev_old_csn=self.old_csn,
-                prev_r=list(self.r),
+                prev_r=self.r.copy(),
                 prev_sent=self.sent,
             )
             self._register_tentative(record, context)
             self.old_csn = self.csn[self.pid]
             self.sent = False
-            self.r = [False] * self.n
+            self.r = BitVector(self.n)
             self.env.trace(
                 "tentative",
                 pid=self.pid,
@@ -370,7 +370,7 @@ class MutableCheckpointProcess(ProtocolProcess):
             context = _TentativeContext(
                 record=record,
                 prev_old_csn=self.old_csn,
-                prev_r=list(self.r),
+                prev_r=self.r.copy(),
                 prev_sent=self.sent,
             )
         self.pending_tentative[trigger] = context
@@ -443,7 +443,7 @@ class MutableCheckpointProcess(ProtocolProcess):
             self.mutables[msg_trigger] = MutableCheckpointRecord(
                 checkpoint=record,
                 trigger=msg_trigger,
-                saved_r=list(self.r),
+                saved_r=self.r.copy(),
                 saved_sent=self.sent,
             )
             self.env.save_mutable(record)
@@ -457,7 +457,7 @@ class MutableCheckpointProcess(ProtocolProcess):
                 msg_id=message.msg_id,
             )
             self.sent = False
-            self.r = [False] * self.n
+            self.r = BitVector(self.n)
             took_mutable = True
         if msg_trigger is not None and not self.cp_state:
             self.cp_state = True
@@ -566,7 +566,7 @@ class MutableCheckpointProcess(ProtocolProcess):
             # §3.3.4: a discarded mutable checkpoint gives back its saved
             # dependency context.
             self.sent = self.sent or mutable.saved_sent
-            self.r = [a or b for a, b in zip(self.r, mutable.saved_r)]
+            self.r.or_with(mutable.saved_r)
             self.env.discard_mutable(mutable.checkpoint)
             self.env.trace(
                 "mutable_discarded",
@@ -611,7 +611,7 @@ class MutableCheckpointProcess(ProtocolProcess):
         mutable = self.mutables.pop(trigger, None)
         if mutable is not None:
             self.sent = self.sent or mutable.saved_sent
-            self.r = [a or b for a, b in zip(self.r, mutable.saved_r)]
+            self.r.or_with(mutable.saved_r)
             self.env.discard_mutable(mutable.checkpoint)
             self.env.trace(
                 "mutable_discarded",
@@ -625,7 +625,7 @@ class MutableCheckpointProcess(ProtocolProcess):
             # consumed, so the dependencies are re-requested next time.
             self.old_csn = context.prev_old_csn
             self.sent = self.sent or context.prev_sent
-            self.r = [a or b for a, b in zip(self.r, context.prev_r)]
+            self.r.or_with(context.prev_r)
             self.env.discard_stable(context.record)
             self.env.trace(
                 "tentative_discarded",

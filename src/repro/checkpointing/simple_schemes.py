@@ -32,6 +32,7 @@ from typing import Callable
 
 from repro.checkpointing.mutable import MutableCheckpointProcess, MutableCheckpointProtocol
 from repro.checkpointing.protocol import ProcessEnv
+from repro.checkpointing.state import BitVector, true_indices
 from repro.checkpointing.types import CheckpointKind
 from repro.net.message import ComputationMessage
 
@@ -66,13 +67,13 @@ class CsnSchemeProcess(MutableCheckpointProcess):
         checkpoints", §3.1.1).
         """
         self.csn[self.pid] += 1
-        deps = [k for k in range(self.n) if k != self.pid and self.r[k]]
+        deps = [k for k in true_indices(self.r) if k != self.pid]
         record = self.make_checkpoint(
             self.csn[self.pid], CheckpointKind.TENTATIVE, None
         )
         self.old_csn = self.csn[self.pid]
         self.sent = False
-        self.r = [False] * self.n
+        self.r = BitVector(self.n)
         self.env.trace(
             "tentative",
             pid=self.pid,

@@ -133,7 +133,9 @@ class MutableCheckpointRecord:
 
     checkpoint: CheckpointRecord
     trigger: Trigger
-    saved_r: List[bool]
+    #: the R vector stashed at capture time (a BitVector at runtime;
+    #: plain List[bool] sequences are accepted from hand-built fixtures)
+    saved_r: Any
     saved_sent: bool
 
 
@@ -155,6 +157,15 @@ class MREntry:
         return MREntry(max(self.csn, csn), self.r or r)
 
 
-def fresh_mr(n: int) -> List[MREntry]:
-    """An all-zero MR vector for an N-process system."""
-    return [MREntry() for _ in range(n)]
+def fresh_mr(n: int):
+    """An all-zero MR vector for an N-process system.
+
+    Returns a sparse :class:`~repro.checkpointing.state.MRVector`:
+    indexing behaves exactly like the historical dense
+    ``[MREntry()] * n`` list, but construction and per-hop copies cost
+    O(entries set) instead of O(N) — the piggyback that made requests
+    O(N) at large populations.
+    """
+    from repro.checkpointing.state import MRVector
+
+    return MRVector(n)

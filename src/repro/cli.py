@@ -54,7 +54,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one experiment and print the summary")
     run.add_argument("--protocol", default="mutable", choices=available_protocols())
-    run.add_argument("--processes", type=int, default=16)
+    run.add_argument("--processes", "--hosts", dest="processes",
+                     type=int, default=16,
+                     help="number of mobile hosts / processes (the "
+                     "protocol scales to thousands; see docs/DESIGN.md)")
     run.add_argument("--seed", type=int, default=42)
     run.add_argument("--rate", type=float, default=0.01,
                      help="messages per second per process")

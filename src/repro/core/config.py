@@ -53,6 +53,13 @@ class SystemConfig:
     track_weight_invariant:
         Attach a weight ledger asserting Lemma 2 continuously (protocols
         that support it).
+    piggyback_mode:
+        How computation messages carry the sender's vector clock:
+        ``"delta"`` (default) sends only the entries changed since the
+        last message on the same channel (Singhal-Kshemkalyani; O(changes)
+        per message), ``"full"`` sends the complete N-entry stamp (the
+        O(N) reference path kept for equivalence testing — see
+        ``tests/integration/test_scale_equivalence.py``).
     """
 
     n_processes: int = 16
@@ -67,8 +74,13 @@ class SystemConfig:
     trace_messages: bool = True
     trace_debug_capacity: Optional[int] = None
     track_weight_invariant: bool = False
+    piggyback_mode: str = "delta"
 
     def __post_init__(self) -> None:
+        if self.piggyback_mode not in ("delta", "full"):
+            raise ConfigurationError(
+                "piggyback_mode must be 'delta' or 'full'"
+            )
         if self.n_processes < 1:
             raise ConfigurationError("need at least one process")
         if self.n_mss < 1:

@@ -55,7 +55,11 @@ class AppProcess:
         self.system = system
         self.pid = pid
         self.host = host
-        self.vc = VectorClock(pid, system.config.n_processes)
+        self.vc = VectorClock(
+            pid,
+            system.config.n_processes,
+            delta=(getattr(system.config, "piggyback_mode", "full") == "delta"),
+        )
         self.app_state: Dict[str, Any] = {
             "messages_sent": 0,
             "messages_received": 0,
@@ -100,7 +104,7 @@ class AppProcess:
             payload=payload,
             msg_id=self._next_msg_id(),
         )
-        message.vc = self.vc.snapshot()
+        message.vc = self.vc.stamp_for(dst_pid)
         if self.incarnation:
             message.piggyback["inc"] = self.incarnation
         self.protocol_process.on_send_computation(message)
@@ -154,7 +158,7 @@ class AppProcess:
         """Hand a computation message to the application."""
         vc_stamp = message.vc_stamp()
         if vc_stamp is not None:
-            self.vc.merge(vc_stamp)
+            self.vc.merge_stamp(vc_stamp)
         self.vc.tick()
         app_state = self.app_state
         app_state["messages_received"] += 1

@@ -133,6 +133,7 @@ def disconnect(
         last_recv_sn=mh.last_downlink_sn,
     )
     mss.disconnect_records[mh.name] = record
+    network.note_disconnect_holder(mh.name, mss)
     mh.detach()
     network.forget_mh_location(mh)
     mh.disconnected = True
@@ -156,16 +157,12 @@ def reconnect(
     """
     if not mh.disconnected:
         raise NetworkError(f"{mh.name} is not disconnected")
-    old_mss = None
-    record = None
-    for mss in network.mss_list:
-        record = mss.disconnect_records.get(mh.name)
-        if record is not None:
-            old_mss = mss
-            break
-    if record is None or old_mss is None:
+    old_mss = network._find_disconnect_holder(mh)
+    if old_mss is None:
         raise NetworkError(f"no disconnect record found for {mh.name}")
+    record = old_mss.disconnect_records[mh.name]
     del old_mss.disconnect_records[mh.name]
+    network.forget_disconnect_holder(mh.name)
     mh.disconnected = False
     mh.attach_to(new_mss)
     # Transfer support information and replay buffered messages in order.

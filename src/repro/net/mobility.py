@@ -57,6 +57,7 @@ def handoff(
     buffer = BufferRecord(mh.name)
     buffer.buffered.extend(stranded)
     old_mss.disconnect_records[mh.name] = buffer
+    network.note_disconnect_holder(mh.name, old_mss)
     network.sim.metrics.counter("net.handoffs").inc()
     network.sim.trace.record(
         network.sim.now, "handoff_start", mh=mh.name, src=old_mss.name, dst=new_mss.name
@@ -64,6 +65,7 @@ def handoff(
 
     def complete() -> None:
         del old_mss.disconnect_records[mh.name]
+        network.forget_disconnect_holder(mh.name)
         mh.attach_to(new_mss)
         if buffer.buffered:
             network.sim.metrics.counter("net.handoff_forwarded").inc(

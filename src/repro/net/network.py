@@ -39,6 +39,13 @@ class MobileNetwork:
         self._host_of_pid: Dict[int, Host] = {}
         self._mss_of_mh: Dict[str, MobileSupportStation] = {}
         self._wired: Dict[Tuple[str, str], FifoChannel] = {}
+        #: sorted pid tuple, rebuilt lazily after registration changes —
+        #: broadcast fan-out must not pay an O(N log N) sort per call
+        self._sorted_pids: Optional[Tuple[int, ...]] = None
+        #: which MSS holds the disconnect record of a detached MH; kept
+        #: by disconnect/handoff so routing to a detached MH is O(1)
+        #: instead of a scan over every MSS
+        self._holder_of_mh: Dict[str, MobileSupportStation] = {}
         #: msg_id allocator for messages the net layer itself constructs;
         #: a MobileSystem replaces this with its own counter at build time
         self.message_ids = count()
@@ -75,6 +82,7 @@ class MobileNetwork:
     def register_process(self, pid: int, host: Host) -> None:
         """Record (or update, after migration) where ``pid`` runs."""
         self._host_of_pid[pid] = host
+        self._sorted_pids = None
 
     def host_of_process(self, pid: int) -> Host:
         """The host ``pid`` currently runs on."""
@@ -165,11 +173,25 @@ class MobileNetwork:
             self._c_wireless_sends.inc()
         host.send(message)
 
+    def note_disconnect_holder(self, mh_name: str, mss: MobileSupportStation) -> None:
+        """Index update when ``mss`` takes custody of a detached MH."""
+        self._holder_of_mh[mh_name] = mss
+
+    def forget_disconnect_holder(self, mh_name: str) -> None:
+        """Index removal when the MH reattaches (record handed over)."""
+        self._holder_of_mh.pop(mh_name, None)
+
     def _find_disconnect_holder(
         self, mh: MobileHost
     ) -> Optional[MobileSupportStation]:
+        holder = self._holder_of_mh.get(mh.name)
+        if holder is not None and holder.disconnect_record_for(mh.name) is not None:
+            return holder
+        # Fallback scan (§2.2 broadcast search) covers records written
+        # without going through the index; repair the index on a hit.
         for mss in self.mss_list:
             if mss.disconnect_record_for(mh.name) is not None:
+                self._holder_of_mh[mh.name] = mss
                 return mss
         return None
 
@@ -189,7 +211,7 @@ class MobileNetwork:
         :mod:`repro.analysis.comparison`).
         """
         sent = 0
-        for pid in sorted(self._host_of_pid):
+        for pid in self.process_ids:
             if pid == src_pid and not include_self:
                 continue
             message = make_message(pid)
@@ -200,5 +222,8 @@ class MobileNetwork:
 
     @property
     def process_ids(self) -> Tuple[int, ...]:
-        """All registered process ids, sorted."""
-        return tuple(sorted(self._host_of_pid))
+        """All registered process ids, sorted (cached between changes)."""
+        pids = self._sorted_pids
+        if pids is None:
+            pids = self._sorted_pids = tuple(sorted(self._host_of_pid))
+        return pids

@@ -40,6 +40,7 @@ __all__ = [
     "calibrate",
     "compare",
     "default_cases",
+    "ladder_cases",
     "run_bench_suite",
 ]
 
@@ -303,6 +304,71 @@ def _store_backend_cases() -> List[_StoreBenchCase]:
     ]
 
 
+@dataclass
+class _LadderBenchCase:
+    """A population rung: a fixed event budget at ``n`` processes.
+
+    Completion-driven cases (the default suite) are intractable at 1k+
+    processes, so ladder rungs drive the kernel for a fixed number of
+    events through the same fused loop the runner uses and report the
+    same events/second. Duck-compatible with :class:`BenchCase`.
+    """
+
+    name: str
+    n_processes: int
+    max_events: int = 150_000
+    description: str = ""
+
+    def run(self, burn: Optional[Callable[[], None]] = None) -> Tuple[int, float]:
+        from repro.errors import SimulationError
+
+        config = SystemConfig(
+            n_processes=self.n_processes, seed=7, trace_messages=False
+        )
+        system = MobileSystem(config, MutableCheckpointProtocol())
+        workload = PointToPointWorkload(
+            system, PointToPointWorkloadConfig(mean_send_interval=1.0)
+        )
+        runner = ExperimentRunner(
+            system, workload, RunConfig(max_initiations=2)
+        )
+        sim = system.sim
+        if burn is not None:
+            sim.set_burn(burn)
+        workload.start()
+        runner._schedule_first_initiations()
+        start = time.perf_counter()
+        try:
+            sim.run(max_events=self.max_events)
+        except SimulationError:
+            # budget reached — the measurement, not an error
+            pass
+        elapsed = time.perf_counter() - start
+        return sim.events_processed, elapsed
+
+
+def ladder_cases(populations: Tuple[int, ...] = (256, 1024, 4096)) -> List[Any]:
+    """The population ladder: per-event rates at growing system sizes.
+
+    Together with the default suite's ``mutable_32p_trace_off`` rung
+    this commits a 32p -> 256p -> 1024p -> 4096p series to
+    ``BENCH_kernel.json``; the 1024p normalized rate staying within 4x
+    of the 32p rate is the scaling acceptance criterion (per-message
+    work must not grow linearly with the population).
+    """
+    return [
+        _LadderBenchCase(
+            name=f"mutable_{n}p_trace_off",
+            n_processes=n,
+            description=(
+                f"{n}-process mutable-checkpoint run, tracing off, "
+                "fixed 150k-event budget"
+            ),
+        )
+        for n in populations
+    ]
+
+
 def default_cases() -> List[Any]:
     """The standing kernel benchmark suite.
 
@@ -390,18 +456,29 @@ def compare(
     baseline: Dict[str, Any],
     current: Dict[str, Any],
     threshold: float = DEFAULT_THRESHOLD,
+    warnings: Optional[List[str]] = None,
 ) -> List[str]:
     """Regressions of ``current`` against ``baseline``.
 
     Returns one human-readable line per case whose normalized rate fell
     more than ``threshold`` below the baseline's; empty means clean.
-    Cases present on only one side are ignored (suites may grow).
+    Cases present on only one side never fail (suites may grow), but a
+    measured case with no committed baseline is noted in ``warnings``
+    (a caller-provided list, appended in place) so new cases don't ride
+    ungated forever.
     """
     base_by_name = {r["name"]: r for r in baseline.get("results", [])}
     failures: List[str] = []
     for result in current.get("results", []):
         base = base_by_name.get(result["name"])
-        if base is None or base["normalized_rate"] <= 0:
+        if base is None:
+            if warnings is not None:
+                warnings.append(
+                    f"{result['name']}: no baseline entry — not gated; "
+                    "rerun with --write to commit one"
+                )
+            continue
+        if base["normalized_rate"] <= 0:
             continue
         ratio = result["normalized_rate"] / base["normalized_rate"]
         if ratio < 1.0 - threshold:

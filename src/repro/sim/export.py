@@ -5,7 +5,11 @@ archived, diffed across code versions, and re-verified offline (the
 consistency and minimality checkers run on imported traces unchanged).
 
 Triggers and checkpoint kinds are encoded as tagged objects so a round
-trip preserves the types the checkers rely on.
+trip preserves the types the checkers rely on. Long integer tuples
+(rollback pid sets and other per-process vectors, which grow with the
+population) are stored as ``[start, count]`` runs when that is smaller;
+decoding reconstructs the exact tuple, so archived traces hash the same
+regardless of population size.
 
 Two export paths exist:
 
@@ -27,10 +31,36 @@ from repro.checkpointing.types import Trigger
 from repro.sim.trace import TraceLog, TraceRecord
 
 
+#: int tuples at least this long are considered for run-length encoding
+_COMPACT_MIN = 16
+
+
+def _int_runs(values: tuple) -> list:
+    """``values`` as ``[start, count]`` runs of consecutive integers."""
+    runs = []
+    start = prev = values[0]
+    for v in values[1:]:
+        if v == prev + 1:
+            prev = v
+            continue
+        runs.append([start, prev - start + 1])
+        start = prev = v
+    runs.append([start, prev - start + 1])
+    return runs
+
+
 def _encode_value(value: Any) -> Any:
     if isinstance(value, Trigger):
         return {"__trigger__": [value.pid, value.inum]}
     if isinstance(value, tuple):
+        # Long integer tuples (rollback pid sets, per-process vectors)
+        # dominate record size at 1k+ processes; mostly-consecutive
+        # ones are stored as [start, count] runs instead. Only applied
+        # when it actually wins, so scattered tuples stay plain.
+        if len(value) >= _COMPACT_MIN and all(type(v) is int for v in value):
+            runs = _int_runs(value)
+            if 2 * len(runs) < len(value):
+                return {"__iruns__": runs}
         return {"__tuple__": [_encode_value(v) for v in value]}
     if isinstance(value, (set, frozenset)):
         return {"__set__": sorted(_encode_value(v) for v in value)}
@@ -48,6 +78,11 @@ def _decode_value(value: Any) -> Any:
             return Trigger(pid, inum)
         if "__tuple__" in value:
             return tuple(_decode_value(v) for v in value["__tuple__"])
+        if "__iruns__" in value:
+            out: list = []
+            for start, count in value["__iruns__"]:
+                out.extend(range(start, start + count))
+            return tuple(out)
         if "__set__" in value:
             return set(_decode_value(v) for v in value["__set__"])
         return {k: _decode_value(v) for k, v in value.items()}

@@ -15,6 +15,7 @@ from repro.explore.fuzz import (
     run_explore_once,
     run_explore_point,
 )
+from repro.explore.policy import decisions_to_jsonable
 from repro.explore.shrink import counterexample_ratio, replay_counterexample
 
 
@@ -174,3 +175,48 @@ def test_counterexample_is_json_serializable():
     report = run_explore_batch(mutated_spec())
     _, result = report.violations[0]
     json.dumps(result["counterexample"])
+
+
+def test_256p_counterexample_dump_replays_to_identical_violation(tmp_path):
+    """The large-population dump path end to end: a 256-process planted
+    violation, its counterexample JSON and compact trace export written
+    to disk, read back, and replayed — bit-identical violation list,
+    schedule digest, and archived trace."""
+    from repro.explore.fuzz import trace_digest
+    from repro.sim.export import read_trace, save_trace
+
+    spec = ExploreSpec(
+        name="scale-ce", n_seeds=8, seed=3, shrink=False,
+        mutation="skip-mutable",
+        system_params={
+            "n_processes": 256, "n_mss": 8, "checkpoint_interval": 8.0,
+            "trace_messages": True, "network": {"wired_latency": 0.2},
+        },
+        workload_params={"mean_send_interval": 5.0},
+        run_params={
+            "max_initiations": 8, "warmup_initiations": 0,
+            "time_limit": 100.0,
+        },
+    )
+    # seed index 7 is a known single-violation cell at this spec
+    point = spec.expand()[7]
+    run = run_explore_once(point)
+    assert run.violations, "expected the planted mutation to fire"
+
+    # the CLI's artifact pair: counterexample JSON + archived trace
+    counterexample = {
+        "point": point.to_dict(),
+        "decisions": decisions_to_jsonable(run.decisions),
+        "violations": [v.to_dict() for v in run.violations],
+        "schedule_digest": trace_digest(run.trace),
+    }
+    ce_path = tmp_path / "counterexample.json"
+    ce_path.write_text(json.dumps(counterexample, indent=2, sort_keys=True))
+    trace_path = str(tmp_path / "counterexample.trace.jsonl")
+    save_trace(run.trace, trace_path)
+    assert read_trace(trace_path).content_hash() == run.trace.content_hash()
+
+    loaded = json.loads(ce_path.read_text())
+    replayed = replay_counterexample(loaded)
+    assert [v.to_dict() for v in replayed.violations] == loaded["violations"]
+    assert trace_digest(replayed.trace) == loaded["schedule_digest"]

@@ -16,6 +16,7 @@ from repro.obs.bench import (
     calibrate,
     compare,
     default_cases,
+    ladder_cases,
     load_baseline,
     run_bench_suite,
 )
@@ -108,6 +109,45 @@ def test_compare_ignores_unknown_cases_and_zero_baselines():
         ]
     }
     assert compare(baseline, current) == []
+
+
+def test_compare_warns_on_missing_baseline_entries():
+    """A measured case with no committed baseline never fails the gate
+    but must be surfaced, so freshly added cases don't ride ungated."""
+    baseline = {"results": [{"name": "old", "normalized_rate": 1.0}]}
+    current = {
+        "results": [
+            {"name": "old", "normalized_rate": 1.0},
+            {"name": "brand_new", "normalized_rate": 0.5},
+        ]
+    }
+    warnings: list = []
+    assert compare(baseline, current, warnings=warnings) == []
+    assert len(warnings) == 1
+    assert "brand_new" in warnings[0]
+    assert "no baseline" in warnings[0]
+    # the warnings list is optional; omitting it keeps the old behavior
+    assert compare(baseline, current) == []
+
+
+def test_ladder_cases_cover_the_population_rungs():
+    names = [case.name for case in ladder_cases()]
+    assert names == [
+        "mutable_256p_trace_off",
+        "mutable_1024p_trace_off",
+        "mutable_4096p_trace_off",
+    ]
+    # the 32p rung is the default suite's existing case: together they
+    # form the 32 -> 256 -> 1024 -> 4096 series in BENCH_kernel.json
+    assert "mutable_32p_trace_off" in [c.name for c in default_cases()]
+
+
+def test_ladder_case_runs_within_its_event_budget():
+    (case,) = ladder_cases(populations=(64,))
+    case.max_events = 5_000
+    events, seconds = case.run()
+    assert 0 < events <= 5_000
+    assert seconds > 0.0
 
 
 def test_calibrate_is_positive():

@@ -71,6 +71,52 @@ def test_empty_lines_ignored():
     assert len(restored) == 0
 
 
+def test_long_pid_tuples_run_length_encode():
+    """A 256p rollback record's pid set exports as [start, count] runs,
+    not 256 JSON numbers, and decodes back to the identical tuple."""
+    log = TraceLog()
+    log.record(5.0, "rollback", pids=tuple(range(256)), lost_messages=3)
+    dumped = dumps_trace(log)
+    assert "__iruns__" in dumped
+    assert len(dumped) < 120  # full tuple would be ~1.5 KB
+    restored = load_trace(dumped)
+    rec = restored.last("rollback")
+    assert rec["pids"] == tuple(range(256))
+    assert isinstance(rec["pids"], tuple)
+    assert restored.content_hash() == log.content_hash()
+
+
+def test_gappy_pid_tuples_round_trip_through_runs():
+    pids = tuple(range(0, 40)) + tuple(range(50, 90)) + (200,)
+    log = TraceLog()
+    log.record(1.0, "rollback", pids=pids, lost_messages=0)
+    restored = load_trace(dumps_trace(log))
+    assert restored.last("rollback")["pids"] == pids
+
+
+def test_scattered_tuples_stay_plain():
+    """Run-length encoding must only apply when it actually wins."""
+    scattered = tuple(i * 7 % 251 for i in range(32))
+    log = TraceLog()
+    log.record(1.0, "weights", outstanding=scattered)
+    dumped = dumps_trace(log)
+    assert "__iruns__" not in dumped
+    assert "__tuple__" in dumped
+    restored = load_trace(dumped)
+    assert restored.last("weights")["outstanding"] == scattered
+
+
+def test_short_and_float_tuples_never_run_length_encode():
+    log = TraceLog()
+    log.record(0.0, "partial_commit", committed=(1, 2), excluded=(3,),
+               trigger=Trigger(0, 1), failed=3)
+    log.record(1.0, "weights", outstanding=tuple(0.5 for _ in range(32)))
+    dumped = dumps_trace(log)
+    assert "__iruns__" not in dumped
+    restored = load_trace(dumped)
+    assert restored.content_hash() == log.content_hash()
+
+
 def debug_trace() -> TraceLog:
     """DEBUG-level records carrying every tagged value type."""
     log = TraceLog()
