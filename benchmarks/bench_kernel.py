@@ -11,12 +11,19 @@ Usage::
     python benchmarks/bench_kernel.py --write      # (re)write the baseline
     python benchmarks/bench_kernel.py --check      # exit 1 on >25% regression
     python benchmarks/bench_kernel.py --ladder     # add the population ladder
+    python benchmarks/bench_kernel.py --trend      # per-case history trends
 
 ``--ladder`` appends the fixed-budget population rungs
-(``mutable_{256,1024,4096}p_trace_off``; the default suite's
+(``mutable_{256,1024,4096}p_trace_off`` plus the sampler-on
+``mutable_1024p_timeseries_1s`` twin; the default suite's
 ``mutable_32p_trace_off`` is the 32p rung) and prints the 1024p-vs-32p
 per-event ratio — the scaling acceptance number, which must stay under
-4x.
+4x — and the timeseries sampling overhead (acceptance: <= 3%).
+
+Every run (except ``--trend``) also appends a machine-normalized,
+git-sha-stamped record to ``BENCH_history.jsonl`` at the repo root;
+``--trend`` reads that file back and prints one normalized-rate
+trajectory per case.
 
 ``--check`` is what CI's perf-smoke job runs. The comparison uses
 normalized rates (events/s divided by a same-machine calibration-loop
@@ -35,16 +42,37 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.obs.bench import (  # noqa: E402
     DEFAULT_THRESHOLD,
+    append_history,
     compare,
     default_cases,
+    format_trends,
     ladder_cases,
     load_baseline,
+    load_history,
     run_bench_suite,
 )
 
 BASELINE_PATH = os.path.join(
     os.path.dirname(__file__), "..", "BENCH_kernel.json"
 )
+HISTORY_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_history.jsonl"
+)
+
+
+def _git_sha() -> str:
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        )
+        sha = out.stdout.strip()
+        return sha if out.returncode == 0 and sha else "unknown"
+    except OSError:
+        return "unknown"
 
 
 def main(argv=None) -> int:
@@ -62,7 +90,24 @@ def main(argv=None) -> int:
                         help="baseline JSON path")
     parser.add_argument("--ladder", action="store_true",
                         help="append the 256p/1024p/4096p population rungs")
+    parser.add_argument("--history", default=HISTORY_PATH,
+                        help="bench history JSONL path")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append this run to the history file")
+    parser.add_argument("--trend", action="store_true",
+                        help="print per-case trajectories from the history "
+                        "file and exit (runs nothing)")
     args = parser.parse_args(argv)
+
+    if args.trend:
+        history = load_history(args.history)
+        if not history:
+            print(f"no history at {args.history}; run the bench to start one")
+            return 1
+        print(f"{len(history)} runs in {args.history} "
+              f"(oldest left, newest right):")
+        print(format_trends(history))
+        return 0
 
     cases = default_cases()
     if args.ladder:
@@ -85,6 +130,17 @@ def main(argv=None) -> int:
             "1024p per-event cost vs 32p: "
             f"{small['rate'] / large['rate']:.2f}x (acceptance: < 4x)"
         )
+    sampled = by_name.get("mutable_1024p_timeseries_1s")
+    if large and sampled and large["rate"] > 0:
+        overhead = 1.0 - sampled["rate"] / large["rate"]
+        print(
+            "1024p timeseries sampling overhead: "
+            f"{overhead * 100:.1f}% (acceptance: <= 3%)"
+        )
+
+    if not args.no_history:
+        append_history(args.history, report, git_sha=_git_sha())
+        print(f"history appended to {args.history}")
 
     if args.write:
         with open(args.baseline, "w", encoding="utf-8") as fh:

@@ -12,6 +12,26 @@ from typing import Any, Dict, List, Sequence, Union
 
 _MARKERS = "ox+*#@%"
 
+_SPARK_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 32) -> str:
+    """Render ``values`` as a one-line unicode sparkline (newest right).
+
+    Keeps the last ``width`` values and scales them between the window's
+    min and max; a flat (or single-value) window renders as the lowest
+    tick. Used by the service dashboard and ``repro-sim top``.
+    """
+    vals = [float(v) for v in values][-width:]
+    if not vals:
+        return ""
+    lo = min(vals)
+    hi = max(vals)
+    if hi <= lo:
+        return _SPARK_TICKS[0] * len(vals)
+    scale = (len(_SPARK_TICKS) - 1) / (hi - lo)
+    return "".join(_SPARK_TICKS[int((v - lo) * scale + 0.5)] for v in vals)
+
 
 def render_chart(
     x_values: Sequence[float],

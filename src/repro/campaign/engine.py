@@ -34,6 +34,7 @@ from repro.core.results import RunResult
 from repro.core.runner import ExperimentRunner
 from repro.core.system import MobileSystem
 from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import merge_timeseries
 from repro.sim.trace import TraceLevel
 from repro.workload.base import Workload
 
@@ -216,6 +217,16 @@ class CampaignReport:
         return MetricsRegistry.merged(
             result.metrics for result in self.results() if result.metrics
         )
+
+    def merged_timeseries(self) -> Dict[str, Any]:
+        """Campaign-level windowed telemetry, merged in grid order.
+
+        Rows align on ``(dt, w)`` and deltas add (see
+        :func:`repro.obs.timeseries.merge_timeseries`), so like
+        :meth:`merged_metrics` the result is independent of worker
+        count. ``{}`` when no point sampled a timeseries.
+        """
+        return merge_timeseries(result.timeseries for result in self.results())
 
     def rows(self) -> List[Dict[str, Any]]:
         """One flat dict per point: identity + the paper's metrics."""

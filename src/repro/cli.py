@@ -15,13 +15,14 @@ Subcommands::
     repro-sim snapshots snaps/ ...         inspect simulator snapshots
     repro-sim serve --data-dir data ...    always-on campaign service (HTTP)
     repro-sim submit --preset smoke ...    submit a grid to a running service
+    repro-sim top --url http://...         live terminal view of the service
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.analysis.comparison import (
     CostParameters,
@@ -90,6 +91,16 @@ def _build_parser() -> argparse.ArgumentParser:
                      "a directory) instead of starting fresh; the snapshot "
                      "carries the full configuration, so the other run "
                      "flags are ignored")
+    run.add_argument("--timeseries-window", type=float, metavar="S",
+                     default=None,
+                     help="sample windowed telemetry every S simulated "
+                     "seconds (deterministic; trace hashes are unchanged)")
+    run.add_argument("--timeseries-out", metavar="PATH", default=None,
+                     help="write the windowed telemetry (JSON lines, or "
+                     "TSV if PATH ends in .tsv; needs --timeseries-window)")
+    run.add_argument("--metrics-out", metavar="PATH", default=None,
+                     help="dump the final metrics registry snapshot as "
+                     "canonical JSON (sorted keys)")
 
     sub.add_parser("figures", help="reproduce the paper's Figs. 1-4")
     sub.add_parser("table1", help="run the three-way Table 1 comparison")
@@ -285,6 +296,20 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--quiet", action="store_true",
                         help="suppress per-point result lines")
 
+    top = sub.add_parser(
+        "top",
+        help="live terminal view of a running campaign service: jobs, "
+        "rates, and per-job activity sparklines, refreshed in place",
+    )
+    top.add_argument("--url", default="http://127.0.0.1:8765",
+                     help="service base URL (default: "
+                     "http://127.0.0.1:8765)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes (default: 2)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (no ANSI "
+                     "clearing; what CI's metrics-smoke job uses)")
+
     snapshots = sub.add_parser(
         "snapshots",
         help="inspect simulator snapshots: list a directory, show one "
@@ -466,6 +491,26 @@ def _cmd_protocols() -> int:
     return 0
 
 
+def _write_run_artifacts(args: argparse.Namespace, result: Any) -> None:
+    """Write ``run``'s optional --metrics-out / --timeseries-out files."""
+    import json
+
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(result.metrics, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"metrics written         : {args.metrics_out}")
+    if args.timeseries_out:
+        from repro.obs.timeseries import save_timeseries
+
+        save_timeseries(result.timeseries, args.timeseries_out)
+        rows = len(result.timeseries.get("rows", []))
+        print(
+            f"timeseries written      : {rows} windows "
+            f"-> {args.timeseries_out}"
+        )
+
+
 def _cmd_run_resume(args: argparse.Namespace) -> int:
     import os
 
@@ -509,18 +554,24 @@ def _cmd_run_resume(args: argparse.Namespace) -> int:
 
         count = save_trace(system.sim.trace, args.export_trace)
         print(f"trace exported          : {count} records -> {args.export_trace}")
+    _write_run_artifacts(args, result)
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume_from:
         return _cmd_run_resume(args)
+    if args.timeseries_out and args.timeseries_window is None:
+        print("error: --timeseries-out needs --timeseries-window",
+              file=sys.stderr)
+        return 2
     config = SystemConfig(
         n_processes=args.processes,
         seed=args.seed,
         checkpoint_interval=args.interval,
         trace_messages=bool(args.verify or args.export_trace),
         trace_debug_capacity=args.flight_recorder,
+        timeseries_window=args.timeseries_window,
     )
     system = MobileSystem(config, build_protocol(args.protocol))
     sink = None
@@ -598,6 +649,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"snapshots written       : {len(snapshotter.taken)} "
             f"-> {args.snapshot_dir}/"
         )
+    _write_run_artifacts(args, result)
     return 0
 
 
@@ -864,6 +916,78 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if status["status"] == "done" else 1
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.analysis.ascii_chart import sparkline
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=10.0)
+    prev_counters: dict = {}
+    prev_wall: Optional[float] = None
+
+    def frame() -> str:
+        nonlocal prev_counters, prev_wall
+        status = client.metrics()
+        now = _time.monotonic()
+        counters = status["metrics"]["counters"]
+        gauges = status["metrics"].get("gauges", {})
+        rate = ""
+        if prev_wall is not None and now > prev_wall:
+            done = (counters.get("service.points.executed", 0)
+                    - prev_counters.get("service.points.executed", 0))
+            rate = f" · {done / (now - prev_wall):.2f} points/s"
+        prev_counters, prev_wall = dict(counters), now
+        cache = status["cache"]
+        lookups = cache["hits"] + cache["misses"]
+        hit_pct = 100.0 * cache["hits"] / lookups if lookups else 0.0
+        lines = [
+            f"repro-sim top — {args.url}",
+            f"uptime {status['uptime_seconds']:.0f}s · "
+            f"{status['workers']} worker(s) · "
+            f"queue {gauges.get('service.queue.depth', 0):g} · "
+            f"active {gauges.get('service.jobs.active', 0):g} · "
+            f"cache {cache['hits']:g}/{lookups:g} ({hit_pct:.1f}% hits)"
+            + rate,
+            "",
+            f"{'job':12s} {'name':20s} {'status':9s} {'points':>9s} "
+            f"{'eta':>7s}  activity (events/window)",
+        ]
+        for job in status["jobs"]:
+            try:
+                rows = client.timeseries(job["job_id"])["rows"]
+            except ServiceError:
+                rows = []
+            spark = sparkline([row["events"] for row in rows]) or "-"
+            eta = (f"{job['eta_seconds']:.0f}s"
+                   if job["status"] == "running" else "-")
+            points = f"{job['done']}/{job['total']}"
+            lines.append(
+                f"{job['job_id']:12s} {job['name'][:20]:20s} "
+                f"{job['status']:9s} {points:>9s} {eta:>7s}  {spark}"
+            )
+        if not status["jobs"]:
+            lines.append("(no jobs yet)")
+        return "\n".join(lines)
+
+    try:
+        if args.once:
+            print(frame())
+            return 0
+        while True:
+            text = frame()
+            # Home + clear-to-end redraws in place instead of scrolling
+            # the terminal history away on every refresh.
+            sys.stdout.write("\x1b[H\x1b[J" + text + "\n")
+            sys.stdout.flush()
+            _time.sleep(args.interval)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_figures() -> int:
     from repro.scenarios.figures import all_figures
 
@@ -919,6 +1043,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "report":
         from repro.reporting import ReportScale, write_report
 

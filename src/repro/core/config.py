@@ -60,6 +60,13 @@ class SystemConfig:
         per message), ``"full"`` sends the complete N-entry stamp (the
         O(N) reference path kept for equivalence testing — see
         ``tests/integration/test_scale_equivalence.py``).
+    timeseries_window:
+        Sim-time window (seconds) of the telemetry sampler
+        (:class:`repro.obs.timeseries.TimeseriesSampler`): selected
+        metric series are snapshotted once per window into a bounded
+        ring carried on the RunResult. ``None`` (the default) disables
+        sampling entirely — no sampler is built and the kernel runs the
+        plain fast loop.
     """
 
     n_processes: int = 16
@@ -75,6 +82,7 @@ class SystemConfig:
     trace_debug_capacity: Optional[int] = None
     track_weight_invariant: bool = False
     piggyback_mode: str = "delta"
+    timeseries_window: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.piggyback_mode not in ("delta", "full"):
@@ -96,6 +104,10 @@ class SystemConfig:
         if self.trace_debug_capacity is not None and self.trace_debug_capacity < 1:
             raise ConfigurationError(
                 "trace_debug_capacity must be >= 1 (or None for unbounded)"
+            )
+        if self.timeseries_window is not None and self.timeseries_window <= 0:
+            raise ConfigurationError(
+                "timeseries_window must be positive (or None to disable)"
             )
 
     def with_changes(self, **kwargs) -> "SystemConfig":

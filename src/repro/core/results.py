@@ -29,6 +29,11 @@ class RunResult:
     #: run — counters (same values as ``counters``), gauges, histograms.
     #: Empty for results recorded before the observability layer.
     metrics: Dict = field(default_factory=dict)
+    #: windowed telemetry document from
+    #: :meth:`repro.obs.timeseries.TimeseriesSampler.export`. Empty when
+    #: sampling was disabled (``SystemConfig.timeseries_window`` unset)
+    #: or for results recorded before the timeseries layer.
+    timeseries: Dict = field(default_factory=dict)
 
     @property
     def n_initiations(self) -> int:
@@ -76,6 +81,7 @@ class RunResult:
             "sim_time": self.sim_time,
             "wall_events": self.wall_events,
             "metrics": self.metrics,
+            "timeseries": self.timeseries,
         }
 
     @classmethod
@@ -93,6 +99,7 @@ class RunResult:
             sim_time=data["sim_time"],
             wall_events=data["wall_events"],
             metrics=data.get("metrics", {}),
+            timeseries=data.get("timeseries", {}),
         )
 
     def row(self) -> Dict[str, float]:

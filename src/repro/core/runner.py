@@ -188,9 +188,13 @@ class ExperimentRunner:
 
         Trace subscribers are dropped at pickling time (they are live
         callbacks); the restore path calls this to re-establish the §5.1
-        reschedule-on-early-checkpoint behaviour.
+        reschedule-on-early-checkpoint behaviour. The timeseries sampler
+        rides along: its kernel hook and trace subscription are dropped
+        the same way.
         """
         self.system.sim.trace.subscribe(self._on_trace)
+        if getattr(self.system, "timeseries", None) is not None:
+            self.system.timeseries.reattach()
 
     def _drive(self, max_events: Optional[int]) -> RunResult:
         sim = self.system.sim
@@ -231,6 +235,11 @@ class ExperimentRunner:
             p.total_blocked_time for p in self.system.processes.values()
         )
         self.system.sim.flush_metrics()
+        timeseries = {}
+        sampler = getattr(self.system, "timeseries", None)
+        if sampler is not None:
+            sampler.flush()
+            timeseries = sampler.export()
         return RunResult(
             protocol=self.system.protocol.name,
             n_processes=self.system.config.n_processes,
@@ -241,4 +250,5 @@ class ExperimentRunner:
             sim_time=self.system.sim.now,
             wall_events=self.system.sim.events_processed,
             metrics=self.system.metrics.snapshot(),
+            timeseries=timeseries,
         )

@@ -31,6 +31,7 @@ from repro.net.mh import MobileHost
 from repro.net.mss import MobileSupportStation
 from repro.net.network import MobileNetwork
 from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import TimeseriesSampler
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import TraceLevel, TraceLog
@@ -118,6 +119,16 @@ class MobileSystem:
             )
             self.stable_storage_for(pid).store(initial)
             self.sim.trace.record(0.0, "permanent", pid=pid, trigger=None, ckpt_id=initial.ckpt_id)
+
+        # Windowed telemetry sampler (repro.obs.timeseries). Built last —
+        # its wave-lifecycle instruments must only exist when sampling is
+        # on, so a default run's metrics snapshot is unchanged. When
+        # disabled no hook is armed and the kernel runs the plain fused
+        # loop.
+        self.timeseries: Optional[TimeseriesSampler] = None
+        if config.timeseries_window is not None:
+            self.timeseries = TimeseriesSampler(self, config.timeseries_window)
+            self.timeseries.install()
 
     @property
     def monitor(self) -> MetricsRegistry:

@@ -19,7 +19,13 @@ first-class infrastructure:
   checkpoint wave from the trace, explains every forced checkpoint as a
   happened-before chain back to the initiator, and compares the forced
   set against the minimality checker's justified closure. Exposed via
-  ``repro-sim inspect``.
+  ``repro-sim inspect``;
+* :mod:`repro.obs.timeseries` — deterministic sim-time-windowed sampling
+  of selected registry series into per-window delta rows (bounded ring,
+  JSONL/TSV export, worker-count-independent merge), riding the kernel's
+  between-events hook so it is observably invisible to the simulation;
+* :mod:`repro.obs.prom` — stdlib-only Prometheus text exposition
+  renderer + validating parser behind the service's ``GET /metrics.prom``.
 
 Instrument naming scheme (see docs/API.md): dotted ``layer.component``
 paths for infrastructure metrics (``net.wireless.bytes``,
@@ -35,7 +41,13 @@ from repro.obs.forensics import (
     build_forensics,
 )
 from repro.obs.profiler import KernelProfiler, SpanStat
+from repro.obs.prom import parse_prometheus_text, render_prometheus
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timeseries import (
+    TimeseriesSampler,
+    merge_timeseries,
+    save_timeseries,
+)
 
 __all__ = [
     "Counter",
@@ -46,6 +58,11 @@ __all__ = [
     "KernelProfiler",
     "MetricsRegistry",
     "SpanStat",
+    "TimeseriesSampler",
     "WaveReport",
     "build_forensics",
+    "merge_timeseries",
+    "parse_prometheus_text",
+    "render_prometheus",
+    "save_timeseries",
 ]

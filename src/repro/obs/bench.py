@@ -37,10 +37,13 @@ __all__ = [
     "BenchCase",
     "BenchResult",
     "MicroBenchCase",
+    "append_history",
     "calibrate",
     "compare",
     "default_cases",
+    "format_trends",
     "ladder_cases",
+    "load_history",
     "run_bench_suite",
 ]
 
@@ -317,13 +320,15 @@ class _LadderBenchCase:
     name: str
     n_processes: int
     max_events: int = 150_000
+    timeseries_window: Optional[float] = None
     description: str = ""
 
     def run(self, burn: Optional[Callable[[], None]] = None) -> Tuple[int, float]:
         from repro.errors import SimulationError
 
         config = SystemConfig(
-            n_processes=self.n_processes, seed=7, trace_messages=False
+            n_processes=self.n_processes, seed=7, trace_messages=False,
+            timeseries_window=self.timeseries_window,
         )
         system = MobileSystem(config, MutableCheckpointProtocol())
         workload = PointToPointWorkload(
@@ -356,7 +361,7 @@ def ladder_cases(populations: Tuple[int, ...] = (256, 1024, 4096)) -> List[Any]:
     of the 32p rate is the scaling acceptance criterion (per-message
     work must not grow linearly with the population).
     """
-    return [
+    cases: List[Any] = [
         _LadderBenchCase(
             name=f"mutable_{n}p_trace_off",
             n_processes=n,
@@ -367,6 +372,22 @@ def ladder_cases(populations: Tuple[int, ...] = (256, 1024, 4096)) -> List[Any]:
         )
         for n in populations
     ]
+    if 1024 in populations:
+        # Sampler-on twin of the 1024p rung: its rate ratio against
+        # mutable_1024p_trace_off is the telemetry sampling overhead
+        # (acceptance: <= 3% events/s regression).
+        cases.append(
+            _LadderBenchCase(
+                name="mutable_1024p_timeseries_1s",
+                n_processes=1024,
+                timeseries_window=1.0,
+                description=(
+                    "the 1024p rung with the timeseries sampler on "
+                    "(1 sim-second windows)"
+                ),
+            )
+        )
+    return cases
 
 
 def default_cases() -> List[Any]:
@@ -498,3 +519,79 @@ def load_baseline(path: str) -> Optional[Dict[str, Any]]:
     except (OSError, ValueError):
         return None
     return data if data.get("results") else None
+
+
+# -- bench history ---------------------------------------------------------
+def append_history(
+    path: str,
+    report: Dict[str, Any],
+    git_sha: Optional[str] = None,
+    timestamp: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Append one run to the bench history (JSONL); returns the record.
+
+    Records carry only *normalized* rates, so a history accumulated
+    across different machines still traces one comparable trajectory
+    per case — the raw calibration rate rides along for context.
+    """
+    record = {
+        "schema": 1,
+        "timestamp": time.time() if timestamp is None else timestamp,
+        "git_sha": git_sha or "unknown",
+        "python": report.get("python"),
+        "calibration_rate": report.get("calibration_rate"),
+        "normalized_rates": {
+            r["name"]: r["normalized_rate"]
+            for r in report.get("results", [])
+        },
+    }
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def load_history(path: str) -> List[Dict[str, Any]]:
+    """All history records in append order; [] if missing. Skips any
+    line that does not parse (a crashed append leaves a partial line)."""
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+    except OSError:
+        return []
+    return records
+
+
+def format_trends(history: List[Dict[str, Any]], width: int = 32) -> str:
+    """Per-case normalized-rate trajectories, one sparkline per case."""
+    from repro.analysis.ascii_chart import sparkline
+
+    names = sorted(
+        {name for rec in history for name in rec.get("normalized_rates", {})}
+    )
+    if not names:
+        return "(no history)"
+    lines = []
+    for name in names:
+        series = [
+            rec["normalized_rates"][name]
+            for rec in history
+            if name in rec.get("normalized_rates", {})
+        ]
+        delta = (
+            (series[-1] / series[0] - 1.0) * 100.0 if series[0] > 0 else 0.0
+        )
+        lines.append(
+            f"{name:28s} {sparkline(series, width=width):{min(width, 32)}s} "
+            f"{series[-1]:.5f} ({delta:+.1f}% over {len(series)} runs)"
+        )
+    return "\n".join(lines)

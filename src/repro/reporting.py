@@ -195,12 +195,15 @@ def _observability_section(scale: ReportScale) -> List[str]:
     protocol or network internals — the same numbers a campaign or a
     JSON consumer would see.
     """
+    # Sampling on: the run also carries windowed telemetry and the
+    # wave-lifecycle instruments (latency/blocked-time histograms).
     _, result = _run(
         MutableCheckpointProtocol(),
         lambda s: PointToPointWorkload(
             s, PointToPointWorkloadConfig(scale.table1_interval)
         ),
         scale,
+        timeseries_window=60.0,
     )
     snapshot = result.metrics
     lines = ["## Observability — metrics registry snapshot", ""]
@@ -209,13 +212,32 @@ def _observability_section(scale: ReportScale) -> List[str]:
     for name, value in sorted(snapshot.get("counters", {}).items()):
         lines.append(f"| `{name}` | {value:g} |")
     lines.append("")
-    blocking = snapshot.get("histograms", {}).get("blocking_time")
+    histograms = snapshot.get("histograms", {})
+    blocking = histograms.get("blocking_time")
     if blocking:
         lines.append("```")
         lines.append(
             render_histogram(blocking, title="blocking_time (seconds)")
         )
         lines.append("```")
+        lines.append("")
+    latency = histograms.get("wave.latency_seconds")
+    if latency:
+        lines.append("```")
+        lines.append(
+            render_histogram(
+                latency, title="wave.latency_seconds (initiation -> commit)"
+            )
+        )
+        lines.append("```")
+        lines.append("")
+    rows = result.timeseries.get("rows", [])
+    if rows:
+        lines.append(
+            f"Windowed telemetry: {len(rows)} active windows of "
+            f"{result.timeseries['window']:g} sim-seconds "
+            f"(`repro-sim run --timeseries-out` exports these)."
+        )
         lines.append("")
     return lines
 

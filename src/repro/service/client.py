@@ -56,6 +56,18 @@ class ServiceClient:
         except urllib.error.URLError as exc:
             raise ServiceError(f"cannot reach {url}: {exc.reason}") from exc
 
+    def _request_text(self, path: str) -> str:
+        """GET a non-JSON endpoint (the Prometheus exposition) as text."""
+        url = f"{self.base_url}{path}"
+        request = urllib.request.Request(url)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(f"{url}: {exc}") from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach {url}: {exc.reason}") from exc
+
     # -- endpoints -------------------------------------------------------
     def submit(
         self,
@@ -89,6 +101,14 @@ class ServiceClient:
 
     def metrics(self) -> Dict[str, Any]:
         return self._request("/metrics")
+
+    def metrics_prom(self) -> str:
+        """The raw Prometheus text exposition (``GET /metrics.prom``)."""
+        return self._request_text("/metrics.prom")
+
+    def timeseries(self, job_id: str) -> Dict[str, Any]:
+        """The job's merged windowed telemetry (live for running jobs)."""
+        return self._request(f"/jobs/{job_id}/timeseries")
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request(f"/cancel/{job_id}", body={})

@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from repro.campaign.engine import CampaignEngine, CampaignReport
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.spec import CampaignSpec, RunPoint
+from repro.obs.prom import render_prometheus
 from repro.obs.registry import MetricsRegistry
 from repro.service.cache import ResultCache
 from repro.service.db import ResultDB
@@ -500,6 +501,46 @@ class CampaignService:
             "cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
         }
+
+    def job_timeseries(self, job_id: str) -> Dict[str, Any]:
+        """Merged windowed telemetry of one job (``GET /jobs/<id>/timeseries``).
+
+        Assembled from the stored point results in grid order, so it
+        works for in-flight jobs (covering the points finished so far)
+        and is worker-count-independent. Rows are empty when the job's
+        points did not set ``timeseries_window``. Raises ``KeyError``
+        for an unknown job.
+        """
+        job = self.manager.jobs[job_id]
+        merged = self.manager.report(job_id).merged_timeseries()
+        return {
+            "job_id": job_id,
+            "status": job.status,
+            "window": merged.get("window"),
+            "dropped": merged.get("dropped", 0),
+            "rows": merged.get("rows", []),
+        }
+
+    def prometheus_text(self) -> str:
+        """The service registry + per-job gauges as Prometheus exposition.
+
+        Canonically ordered (see :func:`repro.obs.prom.render_prometheus`),
+        so two scrapes of an idle service are byte-identical and every
+        counter/per-job-progress sample is non-decreasing across scrapes.
+        """
+        extra = []
+        for job in self.manager.job_list():
+            labels = {"job_id": job.job_id, "name": job.name}
+            extra.append(
+                ("service.job.points", labels, float(len(job.points)))
+            )
+            extra.append(
+                ("service.job.points_done", labels, float(job.progress.done))
+            )
+            extra.append(
+                ("service.job.cache_hits", labels, float(job.cache_hits))
+            )
+        return render_prometheus(self.metrics.snapshot(), extra_gauges=extra)
 
     def close(self) -> None:
         self.manager.shutdown()

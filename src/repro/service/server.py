@@ -15,9 +15,16 @@ thread executes jobs. Endpoints:
 ``POST /cancel/<job>``    cancel a queued or running job
 ``GET  /metrics``         the service status document (uptime, store counts,
                           cache stats, full metrics snapshot)
+``GET  /metrics.prom``    Prometheus text exposition: the full registry plus
+                          per-job gauges, canonically ordered (see
+                          :mod:`repro.obs.prom`)
+``GET  /jobs/<id>/timeseries``  the job's merged windowed telemetry (grid
+                          order, worker-count-independent; live for
+                          in-flight jobs)
 ``GET  /healthz``         liveness probe
 ``GET  /``                live text/HTML dashboard rendered from the metrics
-                          registry snapshot (auto-refreshing)
+                          registry snapshot (auto-refreshing, with per-job
+                          activity sparklines)
 ========================  =====================================================
 
 All request/response bodies are JSON except the dashboard. Responses
@@ -33,8 +40,10 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Sequence, Tuple
 
+from repro.analysis.ascii_chart import sparkline
 from repro.campaign.spec import CampaignSpec, preset_spec
 from repro.errors import ReproError
+from repro.obs.prom import CONTENT_TYPE as PROM_CONTENT_TYPE
 from repro.service.jobs import DEFAULT_SNAPSHOT_EVERY, CampaignService
 
 
@@ -85,23 +94,32 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
             return None
         return document
 
-    def _split(self) -> Tuple[str, Optional[str]]:
+    def _split(self) -> Tuple[str, Optional[str], Optional[str]]:
         parts = self.path.rstrip("/").split("/")
-        # "/status/job-000001" -> ("status", "job-000001")
+        # "/jobs/job-000001/timeseries" -> ("jobs", "job-000001", "timeseries")
         head = parts[1] if len(parts) > 1 else ""
         tail = parts[2] if len(parts) > 2 else None
-        return head, tail
+        rest = parts[3] if len(parts) > 3 else None
+        return head, tail, rest
 
     # -- GET -------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        head, tail = self._split()
+        head, tail, rest = self._split()
         if head == "":
             self._send(200, self._dashboard(), "text/html; charset=utf-8")
         elif head == "healthz":
             self._send_json({"ok": True})
         elif head == "metrics":
             self._send_json(self.service.status())
-        elif head == "jobs":
+        elif head == "metrics.prom":
+            self._send(
+                200,
+                self.service.prometheus_text().encode("utf-8"),
+                PROM_CONTENT_TYPE,
+            )
+        elif head == "jobs" and tail and rest == "timeseries":
+            self._timeseries(tail)
+        elif head == "jobs" and tail is None:
             self._send_json(
                 {"jobs": [j.to_dict() for j in self.service.manager.job_list()]}
             )
@@ -135,9 +153,15 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
             }
         )
 
+    def _timeseries(self, job_id: str) -> None:
+        if job_id not in self.service.manager.jobs:
+            self._error(404, f"unknown job {job_id!r}")
+            return
+        self._send_json(self.service.job_timeseries(job_id))
+
     # -- POST ------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        head, tail = self._split()
+        head, tail, _ = self._split()
         if head == "submit":
             self._submit()
         elif head == "cancel" and tail:
@@ -175,9 +199,15 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
         esc = html.escape
         rows = []
         for job in status["jobs"]:
+            try:
+                series = self.service.job_timeseries(job["job_id"])["rows"]
+                spark = sparkline([row["events"] for row in series]) or "-"
+            except Exception:  # noqa: BLE001 — dashboard must render regardless
+                spark = "-"
             rows.append(
                 "<tr><td>{id}</td><td>{name}</td><td class={st}>{st}</td>"
-                "<td>{done}/{total}</td><td>{hits}</td><td>{eta}</td></tr>".format(
+                "<td>{done}/{total}</td><td>{hits}</td><td>{eta}</td>"
+                "<td>{spark}</td></tr>".format(
                     id=esc(job["job_id"]),
                     name=esc(job["name"]),
                     st=esc(job["status"]),
@@ -187,6 +217,7 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
                     eta=f'{job["eta_seconds"]:.1f}s'
                     if job["status"] == "running"
                     else "-",
+                    spark=esc(spark),
                 )
             )
         cache = status["cache"]
@@ -215,8 +246,8 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
  ({hit_pct:.1f}% hit rate)</p>
 <h2>jobs</h2>
 <table><tr><th>job</th><th>name</th><th>status</th><th>points</th>
-<th>cache hits</th><th>eta</th></tr>
-{"".join(rows) or '<tr><td colspan="6">none yet</td></tr>'}
+<th>cache hits</th><th>eta</th><th>events/window</th></tr>
+{"".join(rows) or '<tr><td colspan="7">none yet</td></tr>'}
 </table>
 <h2>service metrics</h2>
 <table><tr><th>counter</th><th>value</th></tr>{counter_rows}</table>

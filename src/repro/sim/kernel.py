@@ -38,6 +38,38 @@ _FREELIST_MAX = 1024
 _COMPACT_MIN_CANCELLED = 32
 
 
+def _gcd(values: List[int]) -> int:
+    out = values[0]
+    for v in values[1:]:
+        while v:
+            out, v = v, out % v
+    return out
+
+
+class _MultiHook:
+    """Dispatches several between-events hooks at their own cadences.
+
+    Installed as the kernel's single hook slot when more than one
+    consumer (snapshotter, timeseries sampler, ...) is registered. The
+    kernel fires it every gcd-of-cadences events; each sub-hook keeps a
+    countdown in units of that stride. Iteration order is registration
+    order, so dispatch is deterministic.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: List[Tuple[Callable[[], None], int]]) -> None:
+        # mutable [hook, stride, countdown] triples
+        self._entries = [[hook, stride, stride] for hook, stride in entries]
+
+    def __call__(self) -> None:
+        for entry in self._entries:
+            entry[2] -= 1
+            if entry[2] <= 0:
+                entry[2] = entry[1]
+                entry[0]()
+
+
 class SchedulePolicy:
     """Hook deciding *when* and *in what order* scheduled events fire.
 
@@ -127,6 +159,7 @@ class Simulator:
         self._snap_hook: Optional[Callable[[], None]] = None
         self._snap_every = 0
         self._snap_countdown = 0
+        self._hooks: Dict[str, Tuple[Callable[[], None], int]] = {}
         self._stream_floors: Dict[Hashable, Tuple[float, int]] = {}
         self._free: List[Event] = []
         self._cancelled_pending = 0
@@ -229,11 +262,49 @@ class Simulator:
         branch is taken once per :meth:`run` call, not per event), so a
         disabled hook costs nothing.
         """
+        self.set_between_events_hook("snapshot", hook, check_every)
+
+    def set_between_events_hook(
+        self, key: str, hook: Optional[Callable[[], None]], check_every: int = 1
+    ) -> None:
+        """Install (or clear, with ``hook=None``) a keyed between-events hook.
+
+        Several consumers may register under distinct keys (the
+        snapshotter under ``"snapshot"``, the timeseries sampler under
+        ``"timeseries"``); with more than one, the kernel dispatches a
+        composed :class:`_MultiHook` every gcd-of-cadences events and
+        each hook still fires at its own ``check_every``. With exactly
+        one, it is installed directly — identical to the historical
+        single-slot behaviour. The same contract applies to every hook:
+        it fires *between* event callbacks and must not schedule events
+        or mutate kernel state, so hooks are invisible to the simulation.
+        """
         if hook is not None and check_every < 1:
             raise ValueError(f"check_every must be >= 1, got {check_every!r}")
-        self._snap_hook = hook
-        self._snap_every = check_every if hook is not None else 0
-        self._snap_countdown = self._snap_every
+        if hook is None:
+            self._hooks.pop(key, None)
+        else:
+            self._hooks[key] = (hook, check_every)
+        self._recompose_hooks()
+
+    def _recompose_hooks(self) -> None:
+        hooks = list(self._hooks.values())
+        if not hooks:
+            self._snap_hook = None
+            self._snap_every = 0
+            self._snap_countdown = 0
+        elif len(hooks) == 1:
+            hook, every = hooks[0]
+            self._snap_hook = hook
+            self._snap_every = every
+            self._snap_countdown = every
+        else:
+            stride = _gcd([every for _, every in hooks])
+            self._snap_hook = _MultiHook(
+                [(hook, every // stride) for hook, every in hooks]
+            )
+            self._snap_every = stride
+            self._snap_countdown = stride
 
     def __getstate__(self) -> Dict[str, Any]:
         """Pickle support: the kernel snapshots as *paused*.
@@ -252,7 +323,13 @@ class Simulator:
         state["_snap_hook"] = None
         state["_snap_every"] = 0
         state["_snap_countdown"] = 0
+        state["_hooks"] = {}
         return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        # snapshots written before keyed hooks existed lack the registry
+        self.__dict__.setdefault("_hooks", {})
 
     def stop(self) -> None:
         """Ask the running event loop to halt after the current event.

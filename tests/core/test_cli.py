@@ -103,6 +103,36 @@ def test_campaign_list_points(capsys):
     assert all("mutable p2p" in line for line in out)
 
 
+def test_run_timeseries_and_metrics_out(tmp_path, capsys):
+    ts_path = tmp_path / "run.tsv"
+    metrics_path = tmp_path / "metrics.json"
+    code = main(
+        ["run", "--processes", "6", "--rate", "0.05", "--initiations", "2",
+         "--seed", "9", "--timeseries-window", "60",
+         "--timeseries-out", str(ts_path), "--metrics-out",
+         str(metrics_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "timeseries written" in out
+    assert "metrics written" in out
+    assert ts_path.read_text().startswith("w\tt\tdt\tevents")
+    import json
+
+    metrics = json.loads(metrics_path.read_text())
+    assert "wave.commits" in metrics["counters"]
+    # canonical: dumping again with sorted keys reproduces the file
+    assert metrics_path.read_text() == (
+        json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def test_run_timeseries_out_needs_window(capsys):
+    code = main(["run", "--timeseries-out", "nope.jsonl"])
+    assert code == 2
+    assert "--timeseries-window" in capsys.readouterr().err
+
+
 def test_unknown_protocol_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--protocol", "nope"])

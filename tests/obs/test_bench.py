@@ -13,11 +13,14 @@ import pytest
 
 from repro.obs.bench import (
     BenchCase,
+    append_history,
     calibrate,
     compare,
     default_cases,
+    format_trends,
     ladder_cases,
     load_baseline,
+    load_history,
     run_bench_suite,
 )
 from repro.checkpointing.mutable import MutableCheckpointProtocol
@@ -136,6 +139,11 @@ def test_ladder_cases_cover_the_population_rungs():
         "mutable_256p_trace_off",
         "mutable_1024p_trace_off",
         "mutable_4096p_trace_off",
+        "mutable_1024p_timeseries_1s",
+    ]
+    # the sampler-on twin exists only when its 1024p partner does
+    assert "mutable_1024p_timeseries_1s" not in [
+        c.name for c in ladder_cases(populations=(256,))
     ]
     # the 32p rung is the default suite's existing case: together they
     # form the 32 -> 256 -> 1024 -> 4096 series in BENCH_kernel.json
@@ -178,3 +186,52 @@ def test_committed_baseline_parses():
     assert baseline is not None
     names = {r["name"] for r in baseline["results"]}
     assert {c.name for c in default_cases()} <= names
+    # the ladder rungs (including the sampler-on twin) are gated too
+    assert {c.name for c in ladder_cases()} <= names
+
+
+def _report(**rates):
+    return {
+        "calibration_rate": 1e7,
+        "python": "3.x",
+        "results": [
+            {"name": name, "normalized_rate": rate, "events": 1,
+             "seconds": 1.0, "rate": rate * 1e7}
+            for name, rate in rates.items()
+        ],
+    }
+
+
+def test_history_append_and_load_round_trip(tmp_path):
+    path = str(tmp_path / "history.jsonl")
+    append_history(path, _report(a=0.5), git_sha="sha1", timestamp=100.0)
+    append_history(path, _report(a=0.6, b=0.1), git_sha="sha2", timestamp=200.0)
+    history = load_history(path)
+    assert [rec["git_sha"] for rec in history] == ["sha1", "sha2"]
+    assert history[0]["normalized_rates"] == {"a": 0.5}
+    assert history[1]["normalized_rates"] == {"a": 0.6, "b": 0.1}
+    assert history[0]["timestamp"] == 100.0
+
+
+def test_history_survives_a_torn_line(tmp_path):
+    path = tmp_path / "history.jsonl"
+    append_history(str(path), _report(a=0.5), git_sha="sha1")
+    with open(path, "a") as fh:
+        fh.write('{"schema": 1, "torn')  # a crashed append
+    assert len(load_history(str(path))) == 1
+
+
+def test_load_history_missing_file_is_empty():
+    assert load_history("/nonexistent/history.jsonl") == []
+
+
+def test_format_trends_one_line_per_case(tmp_path):
+    path = str(tmp_path / "history.jsonl")
+    append_history(path, _report(a=0.5, b=0.2), git_sha="s1", timestamp=1.0)
+    append_history(path, _report(a=1.0, b=0.2), git_sha="s2", timestamp=2.0)
+    text = format_trends(load_history(path))
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("a ") and "+100.0%" in lines[0]
+    assert lines[1].startswith("b ") and "+0.0%" in lines[1]
+    assert format_trends([]) == "(no history)"
