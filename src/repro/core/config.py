@@ -67,6 +67,14 @@ class SystemConfig:
         ring carried on the RunResult. ``None`` (the default) disables
         sampling entirely — no sampler is built and the kernel runs the
         plain fast loop.
+    shards:
+        Partition the simulation by cell/MSS into this many shards and
+        run it on the conservative windowed kernel
+        (:class:`repro.sim.shard.ShardedSimulator`). ``1`` (the
+        default) keeps the plain fused-loop kernel — the sequential
+        fast path is untouched. Any ``shards >= 2`` must produce
+        bit-identical results to ``shards=1``; the windowed kernel
+        only adds barrier/envelope accounting (see docs/DESIGN.md).
     """
 
     n_processes: int = 16
@@ -83,6 +91,7 @@ class SystemConfig:
     track_weight_invariant: bool = False
     piggyback_mode: str = "delta"
     timeseries_window: Optional[float] = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.piggyback_mode not in ("delta", "full"):
@@ -109,6 +118,8 @@ class SystemConfig:
             raise ConfigurationError(
                 "timeseries_window must be positive (or None to disable)"
             )
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
 
     def with_changes(self, **kwargs) -> "SystemConfig":
         """A copy with the given fields replaced."""

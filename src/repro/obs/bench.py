@@ -321,6 +321,8 @@ class _LadderBenchCase:
     n_processes: int
     max_events: int = 150_000
     timeseries_window: Optional[float] = None
+    n_mss: int = 1
+    shards: int = 1
     description: str = ""
 
     def run(self, burn: Optional[Callable[[], None]] = None) -> Tuple[int, float]:
@@ -329,6 +331,7 @@ class _LadderBenchCase:
         config = SystemConfig(
             n_processes=self.n_processes, seed=7, trace_messages=False,
             timeseries_window=self.timeseries_window,
+            n_mss=self.n_mss, shards=self.shards,
         )
         system = MobileSystem(config, MutableCheckpointProtocol())
         workload = PointToPointWorkload(
@@ -387,6 +390,35 @@ def ladder_cases(populations: Tuple[int, ...] = (256, 1024, 4096)) -> List[Any]:
                 ),
             )
         )
+        # Sharded-kernel rungs: an 8-cell sequential control plus the
+        # same topology on the windowed kernel at 2 and 4 shards. Their
+        # rate ratios are the barrier/window overhead of the inline
+        # canonical-merge backend (single-core: expect <= 1x, see
+        # docs/DESIGN.md); the 25% gate keeps that overhead honest.
+        cases.append(
+            _LadderBenchCase(
+                name="mutable_1024p_mss8",
+                n_processes=1024,
+                n_mss=8,
+                description=(
+                    "the 1024p rung over 8 cells on the sequential "
+                    "kernel (control for the shards rungs)"
+                ),
+            )
+        )
+        for n_shards in (2, 4):
+            cases.append(
+                _LadderBenchCase(
+                    name=f"mutable_1024p_shards{n_shards}",
+                    n_processes=1024,
+                    n_mss=8,
+                    shards=n_shards,
+                    description=(
+                        f"the 1024p 8-cell rung on the windowed sharded "
+                        f"kernel with {n_shards} shards"
+                    ),
+                )
+            )
     return cases
 
 
@@ -473,6 +505,30 @@ def run_bench_suite(
     }
 
 
+def _duplicate_rate_warnings(report: Dict[str, Any], label: str) -> List[str]:
+    """Cases sharing a normalized rate to 15 significant digits.
+
+    Independent timed measurements never collide at that precision; a
+    collision means one entry was copy-pasted or written from a stale
+    variable (this actually happened: the committed
+    ``mutable_1024p_timeseries_1s`` baseline once carried
+    ``mutable_1024p_trace_off``'s exact rate). Zero rates are skipped —
+    placeholder entries may legitimately share 0.
+    """
+    groups: Dict[str, List[str]] = {}
+    for result in report.get("results", []):
+        rate = result.get("normalized_rate", 0.0)
+        if not rate:
+            continue
+        groups.setdefault(f"{rate:.15e}", []).append(result["name"])
+    return [
+        f"{label}: {' and '.join(names)} share normalized_rate "
+        f"{key} — copy artifact? re-measure with --write"
+        for key, names in sorted(groups.items())
+        if len(names) > 1
+    ]
+
+
 def compare(
     baseline: Dict[str, Any],
     current: Dict[str, Any],
@@ -486,10 +542,14 @@ def compare(
     Cases present on only one side never fail (suites may grow), but a
     measured case with no committed baseline is noted in ``warnings``
     (a caller-provided list, appended in place) so new cases don't ride
-    ungated forever.
+    ungated forever — as are identical-to-15-digits normalized rates on
+    either side, which can only be copy artifacts, never measurements.
     """
     base_by_name = {r["name"]: r for r in baseline.get("results", [])}
     failures: List[str] = []
+    if warnings is not None:
+        warnings.extend(_duplicate_rate_warnings(baseline, "baseline"))
+        warnings.extend(_duplicate_rate_warnings(current, "measured"))
     for result in current.get("results", []):
         base = base_by_name.get(result["name"])
         if base is None:

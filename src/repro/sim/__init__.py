@@ -3,6 +3,9 @@
 Public surface:
 
 * :class:`~repro.sim.kernel.Simulator` — the event loop.
+* :class:`~repro.sim.shard.ShardedSimulator` — the barrier-window
+  sharded kernel (``SystemConfig.shards > 1``), bit-identical to
+  :class:`Simulator` by construction.
 * :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.Timer`.
 * :class:`~repro.sim.rng.RandomStreams` — named seeded randomness.
 * :class:`~repro.sim.trace.TraceLog` — structured ground-truth log.
@@ -13,12 +16,16 @@ from repro.sim.events import Event, Timer
 from repro.sim.kernel import Simulator
 from repro.sim.monitor import Monitor, Tally
 from repro.sim.rng import RandomStreams
+from repro.sim.shard import Envelope, ShardPlan, ShardedSimulator
 from repro.sim.trace import TraceLog, TraceRecord
 
 __all__ = [
+    "Envelope",
     "Event",
     "Monitor",
     "RandomStreams",
+    "ShardPlan",
+    "ShardedSimulator",
     "Simulator",
     "Tally",
     "Timer",

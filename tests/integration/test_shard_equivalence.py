@@ -1,0 +1,144 @@
+"""Sharded-kernel equivalence matrix (PR-10 acceptance).
+
+``SystemConfig(shards=N)`` must be *observably invisible*: same trace
+content hash, same metrics snapshot, same wall-event count and final
+sim time, and same final per-process vector clocks as the sequential
+``shards=1`` kernel — for the PR-5 golden configs (pinned byte-exact in
+``test_fastpath_determinism.GOLDEN``) and for a multi-cell 256-process
+case where the partition is real (events actually spread across
+shards, cross-shard envelopes flow). The windowed engine may only show
+up in ``RunResult.shard_stats``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.checkpointing.mutable import MutableCheckpointProtocol
+from repro.core.config import PointToPointWorkloadConfig, RunConfig, SystemConfig
+from repro.core.results import RunResult
+from repro.core.runner import ExperimentRunner
+from repro.core.system import MobileSystem
+from repro.workload.point_to_point import PointToPointWorkload
+
+from tests.integration.test_fastpath_determinism import GOLDEN
+
+
+def _run(
+    n_processes: int,
+    seed: int,
+    trace_messages: bool,
+    max_initiations: int,
+    *,
+    n_mss: int = 1,
+    shards: int = 1,
+    mean_send_interval: float = 15.0,
+):
+    config = SystemConfig(
+        n_processes=n_processes,
+        n_mss=n_mss,
+        seed=seed,
+        trace_messages=trace_messages,
+        shards=shards,
+    )
+    system = MobileSystem(config, MutableCheckpointProtocol())
+    workload = PointToPointWorkload(
+        system, PointToPointWorkloadConfig(mean_send_interval=mean_send_interval)
+    )
+    runner = ExperimentRunner(
+        system,
+        workload,
+        RunConfig(max_initiations=max_initiations, warmup_initiations=1),
+    )
+    result = runner.run(max_events=10_000_000)
+    return system, result
+
+
+def _signature(system, result):
+    """Everything shards must not change, in one comparable tuple."""
+    return (
+        system.sim.trace.content_hash(),
+        hashlib.sha256(
+            json.dumps(result.metrics, sort_keys=True).encode()
+        ).hexdigest(),
+        result.wall_events,
+        result.sim_time,
+        {pid: p.vc.snapshot() for pid, p in system.processes.items()},
+    )
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_golden_a_bit_identical_under_shards(shards):
+    """Config A (8p, DEBUG trace) on the windowed kernel still lands on
+    the pre-overhaul golden values byte for byte."""
+    system, result = _run(8, 20260806, True, 4, shards=shards)
+    golden = GOLDEN["A"]
+    assert system.sim.trace.content_hash() == golden["trace_hash"]
+    assert result.wall_events == golden["wall_events"]
+    assert result.sim_time == golden["sim_time"]
+    metrics_sha = hashlib.sha256(
+        json.dumps(result.metrics, sort_keys=True).encode()
+    ).hexdigest()
+    assert metrics_sha == golden["metrics_sha256"]
+    # Single-cell topology: the partition is degenerate (every event in
+    # shard 0) but the windowed engine still ran — and recorded it.
+    assert result.shard_stats["shards"] == shards
+    assert result.shard_stats["windows"] > 0
+    assert result.shard_stats["envelopes"] == 0
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_golden_b_bit_identical_under_shards(shards):
+    """Config B (16p, trace off) exercises the windowed loop end to end."""
+    system, result = _run(16, 7, False, 6, shards=shards)
+    golden = GOLDEN["B"]
+    assert system.sim.trace.content_hash() == golden["trace_hash"]
+    assert result.wall_events == golden["wall_events"]
+    assert result.sim_time == golden["sim_time"]
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_256p_multicell_bit_identical_under_shards(shards):
+    """256 processes over 8 cells: a real partition (work on every
+    shard, envelopes across shards) changes no observable."""
+    control_system, control_result = _run(
+        256, 11, False, 3, n_mss=8, mean_send_interval=10.0
+    )
+    system, result = _run(
+        256, 11, False, 3, n_mss=8, shards=shards, mean_send_interval=10.0
+    )
+    assert _signature(system, result) == _signature(
+        control_system, control_result
+    )
+    stats = result.shard_stats
+    assert stats["shards"] == stats["effective_shards"] == shards
+    assert stats["envelopes"] > 0
+    # Every shard owned real work.
+    assert all(s["events"] > 0 for s in stats["per_shard"])
+    # The min-wired-delay lookahead is sound for this workload: no
+    # cross-shard event ever landed inside an open window.
+    assert stats["lookahead_violations"] == 0
+    assert control_result.shard_stats == {}
+
+
+def test_sharded_runs_are_self_identical():
+    """Two fresh sharded systems, same seed: identical signatures and
+    identical window accounting (the engine itself is deterministic)."""
+    a_system, a_result = _run(32, 3, True, 3, n_mss=4, shards=4)
+    b_system, b_result = _run(32, 3, True, 3, n_mss=4, shards=4)
+    assert _signature(a_system, a_result) == _signature(b_system, b_result)
+    assert a_result.shard_stats == b_result.shard_stats
+
+
+def test_shard_stats_roundtrip_and_sequential_docs_unchanged():
+    """shard_stats survives the RunResult wire format; sequential
+    result documents do not even carry the key."""
+    _, sharded = _run(8, 20260806, True, 2, n_mss=2, shards=2)
+    _, sequential = _run(8, 20260806, True, 2, n_mss=2)
+    doc = sharded.to_dict()
+    assert doc["shard_stats"]["shards"] == 2
+    assert RunResult.from_dict(doc).shard_stats == sharded.shard_stats
+    assert "shard_stats" not in sequential.to_dict()

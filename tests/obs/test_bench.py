@@ -133,6 +133,46 @@ def test_compare_warns_on_missing_baseline_entries():
     assert compare(baseline, current) == []
 
 
+def test_compare_warns_on_duplicate_normalized_rates():
+    """Two cases agreeing to 15 significant digits cannot both be real
+    measurements — it is a copy artifact (the committed baseline once
+    carried mutable_1024p_trace_off's rate under the timeseries twin's
+    name) and must be flagged on whichever side it appears."""
+    stale = 0.003100180248699392
+    baseline = {
+        "results": [
+            {"name": "case_a", "normalized_rate": stale},
+            {"name": "case_b", "normalized_rate": stale},
+            {"name": "case_c", "normalized_rate": 0.5},
+        ]
+    }
+    current = {
+        "results": [
+            {"name": "case_a", "normalized_rate": stale},
+            {"name": "case_b", "normalized_rate": stale * 0.99},
+            {"name": "case_c", "normalized_rate": 0.49},
+        ]
+    }
+    warnings: list = []
+    assert compare(baseline, current, warnings=warnings) == []
+    assert len(warnings) == 1
+    assert warnings[0].startswith("baseline:")
+    assert "case_a" in warnings[0] and "case_b" in warnings[0]
+    assert "copy artifact" in warnings[0]
+    # duplicates in the measured report are flagged too
+    warnings = []
+    compare(baseline, baseline, warnings=warnings)
+    assert sum(w.startswith("measured:") for w in warnings) == 1
+    # zero rates (placeholders) never collide
+    zeros = {"results": [
+        {"name": "a", "normalized_rate": 0.0},
+        {"name": "b", "normalized_rate": 0.0},
+    ]}
+    warnings = []
+    compare(zeros, zeros, warnings=warnings)
+    assert warnings == []
+
+
 def test_ladder_cases_cover_the_population_rungs():
     names = [case.name for case in ladder_cases()]
     assert names == [
@@ -140,11 +180,20 @@ def test_ladder_cases_cover_the_population_rungs():
         "mutable_1024p_trace_off",
         "mutable_4096p_trace_off",
         "mutable_1024p_timeseries_1s",
+        "mutable_1024p_mss8",
+        "mutable_1024p_shards2",
+        "mutable_1024p_shards4",
     ]
-    # the sampler-on twin exists only when its 1024p partner does
-    assert "mutable_1024p_timeseries_1s" not in [
-        c.name for c in ladder_cases(populations=(256,))
+    # the 1024p-coupled rungs exist only when their partner does
+    assert [c.name for c in ladder_cases(populations=(256,))] == [
+        "mutable_256p_trace_off"
     ]
+    by_name = {c.name: c for c in ladder_cases()}
+    assert by_name["mutable_1024p_mss8"].shards == 1
+    assert by_name["mutable_1024p_shards4"].shards == 4
+    # same topology as the control, so the ratio is pure kernel overhead
+    assert by_name["mutable_1024p_shards4"].n_mss == \
+        by_name["mutable_1024p_mss8"].n_mss == 8
     # the 32p rung is the default suite's existing case: together they
     # form the 32 -> 256 -> 1024 -> 4096 series in BENCH_kernel.json
     assert "mutable_32p_trace_off" in [c.name for c in default_cases()]
